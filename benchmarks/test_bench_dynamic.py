@@ -1,0 +1,51 @@
+"""Benchmark: the dynamic hosting simulation (future-work extension).
+
+Times one full simulation run and prints the re-allocation-period
+trade-off table (average minimum yield vs migrations).
+"""
+
+import pytest
+
+from repro.algorithms import metahvp_light
+from repro.dynamic import DynamicSimulator, generate_trace
+from repro.experiments.report import format_table
+from repro.workloads import generate_platform
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    platform = generate_platform(hosts=10, cov=0.5, rng=5)
+    trace = generate_trace(horizon=24, mean_arrivals_per_step=1.5,
+                           mean_lifetime_steps=8.0, rng=6,
+                           initial_services=8)
+    return platform, trace
+
+
+def run_sim(platform, trace, period):
+    sim = DynamicSimulator(
+        platform, trace, placer=metahvp_light(),
+        reallocation_period=period, cpu_need_scale=0.05,
+        max_error=0.1, threshold=0.1, rng=1)
+    return sim.run()
+
+
+def test_dynamic_simulation(benchmark, scenario, emit):
+    platform, trace = scenario
+    benchmark.pedantic(run_sim, args=(platform, trace, 4),
+                       rounds=1, iterations=1)
+    rows = []
+    results = {}
+    for period in (1, 4, 12, 24):
+        result = run_sim(platform, trace, period)
+        results[period] = result
+        rows.append((period, f"{result.average_min_yield:.3f}",
+                     result.total_migrations,
+                     f"{result.average_pending:.2f}"))
+    emit("dynamic_tradeoff", format_table(
+        ("re-pack period", "avg min yield", "migrations", "avg pending"),
+        rows, title="Dynamic hosting: re-allocation period trade-off"))
+    # The structural trade-off must hold.
+    assert (results[1].total_migrations
+            >= results[24].total_migrations)
+    assert (results[1].average_min_yield
+            >= results[24].average_min_yield - 0.05)

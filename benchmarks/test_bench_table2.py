@@ -1,0 +1,53 @@
+"""Benchmark: Table 2 — algorithm run times vs service count (§5).
+
+The paper's claims are relative: RRNZ ≫ METAHVP > METAVP ≫ METAGREEDY,
+with METAHVP/METAVP ≈ 3×.  Each bench times one representative solve; the
+printed table aggregates means over several instances per cell.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import GridSpec, format_table2, run_table2
+from repro.experiments.runner import ALGORITHM_FACTORIES
+from repro.util.rng import derive_seed
+from repro.workloads import ScenarioConfig, generate_instance
+
+BENCH_GRID = GridSpec(
+    hosts=12,
+    services=(24, 48),
+    cov_values=(0.5,),
+    slack_values=(0.5,),
+    instances=3,
+    seed=2012,
+)
+
+ALGORITHMS = ("RRNZ", "METAGREEDY", "METAVP", "METAHVP", "METAHVPLIGHT")
+
+
+@pytest.fixture(scope="module")
+def instance_48():
+    return generate_instance(ScenarioConfig(
+        hosts=12, services=48, cov=0.5, slack=0.5, seed=2012))
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_algorithm_runtime(benchmark, name, instance_48):
+    """Per-algorithm timing on one 48-service instance (Table 2 row)."""
+    algo = ALGORITHM_FACTORIES[name]()
+    rng = np.random.default_rng(derive_seed(2012, 0, 0))
+    benchmark.pedantic(algo, args=(instance_48,), kwargs={"rng": rng},
+                       rounds=1, iterations=1)
+
+
+def test_table2_report(benchmark, emit):
+    """Regenerates the full (reduced) Table 2 and prints it."""
+    data = benchmark.pedantic(
+        run_table2, args=(BENCH_GRID, ALGORITHMS), kwargs={"workers": 1},
+        rounds=1, iterations=1)
+    emit("table2", format_table2(data))
+    # Relative-ordering assertions from §5/§5.1 at the larger size.
+    means = data.mean_seconds[48]
+    assert means["METAGREEDY"] < means["METAVP"]
+    assert means["METAVP"] < means["METAHVP"]
+    assert means["METAHVPLIGHT"] < means["METAHVP"]

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Consolidating services onto a federated, heterogeneous platform.
+
+Scenario from the paper's introduction: an organization federates three
+generations of hardware — an old 8-node cluster, a mid-life 6-node
+cluster, and 4 new fat nodes — and must host a mixed service workload.
+We compare the paper's algorithm families on the resulting heterogeneous
+platform and report achieved minimum yield, runtime, and where each
+algorithm placed the workload.
+
+Run:  python examples/cluster_consolidation.py
+"""
+
+import numpy as np
+
+from repro.algorithms import metagreedy, metahvp, metahvp_light, metavp
+from repro.core import Node, ProblemInstance, Service
+from repro.util.timing import timed_call
+
+
+def build_platform() -> list[Node]:
+    """Three hardware generations; capacities relative to the newest."""
+    old = [Node.multicore(2, 0.15, 0.25, name=f"old-{i}") for i in range(8)]
+    mid = [Node.multicore(4, 0.20, 0.50, name=f"mid-{i}") for i in range(6)]
+    new = [Node.multicore(8, 0.25, 1.00, name=f"new-{i}") for i in range(4)]
+    return old + mid + new
+
+
+def build_workload(rng: np.random.Generator, count: int = 90) -> list[Service]:
+    """A mix of web frontends (small, latency-bound), batch workers
+    (CPU-hungry), and an in-memory cache tier (memory-heavy).  Total CPU
+    appetite intentionally exceeds the platform so yields stay below 1 and
+    the algorithms have something to optimize."""
+    services: list[Service] = []
+    kinds = rng.choice(3, size=count, p=[0.5, 0.3, 0.2])
+    for i, kind in enumerate(kinds):
+        if kind == 0:    # web frontend: 1 vCPU, modest memory
+            cpu_need = rng.uniform(0.10, 0.25)
+            services.append(Service.from_vectors(
+                [0.02, m := rng.uniform(0.02, 0.06)], [0.0, m],
+                [cpu_need, 0.0], [cpu_need, 0.0], name=f"web-{i}"))
+        elif kind == 1:  # batch worker: 4 vCPUs, wants lots of aggregate CPU
+            per_core = rng.uniform(0.06, 0.12)
+            services.append(Service.from_vectors(
+                [0.02, m := rng.uniform(0.04, 0.10)], [0.0, m],
+                [per_core, 0.0], [4 * per_core, 0.0], name=f"batch-{i}"))
+        else:            # cache: little CPU, big rigid memory
+            services.append(Service.from_vectors(
+                [0.01, m := rng.uniform(0.10, 0.22)], [0.0, m],
+                [0.02, 0.0], [0.02, 0.0], name=f"cache-{i}"))
+    return services
+
+
+def describe_placement(instance: ProblemInstance, placement) -> str:
+    names = instance.nodes.names
+    tiers = {"old": 0, "mid": 0, "new": 0}
+    for h in placement:
+        tiers[names[h].split("-")[0]] += 1
+    return ", ".join(f"{k}: {v}" for k, v in tiers.items())
+
+
+def main() -> None:
+    rng = np.random.default_rng(20120521)  # IPDPS'12 opening day
+    instance = ProblemInstance(build_platform(), build_workload(rng))
+    print(f"Platform: {instance.num_nodes} nodes across 3 generations; "
+          f"workload: {instance.num_services} services\n")
+
+    print(f"{'algorithm':14s} {'min yield':>9s} {'mean yield':>10s} "
+          f"{'time':>8s}  placement by tier")
+    for algo in (metagreedy(), metavp(), metahvp_light(), metahvp()):
+        alloc, seconds = timed_call(algo, instance)
+        if alloc is None:
+            print(f"{algo.name:14s} {'failed':>9s}")
+            continue
+        alloc.validate()
+        print(f"{algo.name:14s} {alloc.minimum_yield():9.3f} "
+              f"{alloc.yields.mean():10.3f} {seconds:7.2f}s  "
+              f"{describe_placement(instance, alloc.placement)}")
+
+    print("\nExpected shape (paper §5): the HVP metas at least match "
+          "METAVP,\nwhich beats METAGREEDY; the cache tier gravitates to "
+          "big-memory nodes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Running a hosting platform over time (the paper's future-work scenario).
+
+Services arrive and depart while the resource manager periodically
+re-packs the platform with METAHVPLIGHT on *estimated* CPU needs and
+shares CPU at runtime with a work-conserving scheduler.  The experiment
+sweeps the re-allocation period to expose the core operational trade-off:
+re-packing often keeps yields high but migrates VMs constantly;
+re-packing rarely is cheap but lets the packing decay as the workload
+churns.
+
+Run:  python examples/dynamic_hosting.py
+"""
+
+from repro.algorithms import metahvp_light
+from repro.dynamic import DynamicSimulator, generate_trace
+from repro.workloads import generate_platform
+
+
+def main() -> None:
+    platform = generate_platform(hosts=12, cov=0.5, rng=5)
+    trace = generate_trace(horizon=40, mean_arrivals_per_step=2.0,
+                           mean_lifetime_steps=10.0, rng=6,
+                           initial_services=10)
+    peak = max(trace.active_indices(t).size for t in range(trace.horizon))
+    print(f"12-host platform, {len(trace.events)} services over "
+          f"{trace.horizon} steps (peak {peak} active)\n")
+
+    print(f"{'re-pack every':>13s} {'avg min yield':>13s} "
+          f"{'migrations':>10s} {'avg pending':>11s}")
+    for period in (1, 4, 10, 40):
+        sim = DynamicSimulator(
+            platform, trace, placer=metahvp_light(),
+            policy="ALLOCWEIGHTS", reallocation_period=period,
+            cpu_need_scale=0.05, max_error=0.1, threshold=0.1, rng=1)
+        result = sim.run()
+        print(f"{period:>10d} t  {result.average_min_yield:13.3f} "
+              f"{result.total_migrations:10d} {result.average_pending:11.2f}")
+
+    print("\nThe trade-off: frequent re-packing sustains the minimum yield "
+          "at the\ncost of many migrations; never re-packing (period = "
+          "horizon) avoids\nmigrations but the placement decays as services "
+          "churn.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scheduling with wrong CPU-need estimates, and how to survive it (§6).
+
+A hosting platform never knows services' true CPU appetites in advance.
+This example walks the paper's §6 pipeline on one instance:
+
+1. generate a Google-like workload and perturb its CPU needs (the
+   scheduler only sees the noisy estimates);
+2. place services with METAHVPLIGHT using those estimates, optionally
+   rounding small estimates up to a minimum threshold (the paper's
+   mitigation);
+3. at "runtime", share each node's CPU with ALLOCCAPS / ALLOCWEIGHTS /
+   EQUALWEIGHTS and measure the yields actually achieved against the
+   true needs;
+4. compare everything to the perfect-knowledge ideal and the
+   zero-knowledge baseline.
+
+Run:  python examples/error_mitigation.py
+"""
+
+import numpy as np
+
+from repro.algorithms import metahvp_light
+from repro.sharing import (
+    apply_minimum_threshold,
+    evaluate_actual_yields,
+    perturb_cpu_needs,
+    zero_knowledge_placement,
+)
+from repro.workloads import ScenarioConfig, generate_instance
+
+MAX_ERROR = 0.10      # uniform estimate error half-width
+THRESHOLDS = (0.0, 0.1, 0.3)
+
+
+def main() -> None:
+    cfg = ScenarioConfig(hosts=16, services=48, cov=0.5, slack=0.5, seed=42)
+    instance = generate_instance(cfg)  # this carries the TRUE needs
+    placer = metahvp_light()
+
+    mean_need = instance.services.need_agg[:, 0].mean()
+    print(f"{instance.num_services} services on {instance.num_nodes} hosts; "
+          f"mean true CPU need {mean_need:.3f}, max error {MAX_ERROR}\n")
+
+    # Perfect knowledge: the best the placer can do.
+    ideal = placer(instance)
+    assert ideal is not None
+    print(f"ideal (perfect estimates):      min yield {ideal.minimum_yield():.3f}")
+
+    # Zero knowledge: spread evenly, share equally.
+    zk_placement = zero_knowledge_placement(instance)
+    assert zk_placement is not None
+    zk = evaluate_actual_yields(instance, zk_placement, "EQUALWEIGHTS")
+    print(f"zero-knowledge baseline:        min yield {zk.min():.3f}\n")
+
+    # Noisy estimates, with and without threshold mitigation.
+    noisy = perturb_cpu_needs(instance.services, MAX_ERROR, rng=7)
+    print(f"{'threshold':>9s} {'ALLOCCAPS':>10s} {'ALLOCWEIGHTS':>13s} "
+          f"{'EQUALWEIGHTS':>13s}")
+    for threshold in THRESHOLDS:
+        estimates = apply_minimum_threshold(noisy, threshold)
+        est_instance = instance.replace_services(estimates)
+        alloc = placer(est_instance)
+        if alloc is None:
+            print(f"{threshold:9.2f}  placement failed")
+            continue
+        row = [threshold]
+        for policy in ("ALLOCCAPS", "ALLOCWEIGHTS", "EQUALWEIGHTS"):
+            yields = evaluate_actual_yields(
+                instance, alloc.placement, policy,
+                estimated_instance=est_instance)
+            row.append(yields.min())
+        print(f"{row[0]:9.2f} {row[1]:10.3f} {row[2]:13.3f} {row[3]:13.3f}")
+
+    print("\nReading the table (paper §6.2): hard caps (ALLOCCAPS) suffer "
+          "most from\nunderestimation; work-conserving weights recover; a "
+          "moderate threshold\nflattens sensitivity at some cost in average "
+          "yield. All should beat the\nzero-knowledge baseline at this "
+          "error level.")
+
+
+if __name__ == "__main__":
+    main()

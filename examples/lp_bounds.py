@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""How close do the heuristics get to optimal? (§3.2's bounding technique)
+
+The exact MILP is only tractable for small instances, but its rational
+relaxation solves in polynomial time and upper-bounds the optimum.  This
+example quantifies, on a batch of small heterogeneous instances:
+
+* exact optimum (MILP) vs the LP upper bound — how loose is the bound?
+* METAHVP / METAGREEDY vs the exact optimum — how good are the heuristics?
+
+Run:  python examples/lp_bounds.py
+"""
+
+import numpy as np
+
+from repro.algorithms import metagreedy, metahvp
+from repro.core.exceptions import InfeasibleProblemError
+from repro.lp import solve_exact, solve_relaxation
+from repro.workloads import ScenarioConfig, generate_instance
+
+INSTANCES = 8
+
+
+def main() -> None:
+    print(f"{'inst':>4s} {'LP bound':>9s} {'MILP opt':>9s} "
+          f"{'METAHVP':>9s} {'METAGREEDY':>10s}")
+    gaps_lp, gaps_hvp, gaps_greedy = [], [], []
+    solved = 0
+    for idx in range(INSTANCES):
+        cfg = ScenarioConfig(hosts=6, services=14, cov=0.6, slack=0.6,
+                             seed=99, instance_index=idx)
+        instance = generate_instance(cfg)
+        try:
+            relaxed = solve_relaxation(instance)
+            exact = solve_exact(instance, time_limit=60.0)
+        except InfeasibleProblemError:
+            print(f"{idx:4d}  infeasible (requirements cannot fit)")
+            continue
+        hvp = metahvp()(instance)
+        greedy = metagreedy()(instance)
+        hvp_y = float("nan") if hvp is None else hvp.minimum_yield()
+        greedy_y = float("nan") if greedy is None else greedy.minimum_yield()
+        print(f"{idx:4d} {relaxed.min_yield:9.3f} {exact.min_yield:9.3f} "
+              f"{hvp_y:9.3f} {greedy_y:10.3f}")
+        solved += 1
+        if exact.min_yield > 0:
+            gaps_lp.append(relaxed.min_yield - exact.min_yield)
+            if hvp is not None:
+                gaps_hvp.append(exact.min_yield - hvp_y)
+            if greedy is not None:
+                gaps_greedy.append(exact.min_yield - greedy_y)
+
+    if solved:
+        print(f"\nAverages over {solved} instances:")
+        print(f"  LP bound looseness (bound - opt):   "
+              f"{np.mean(gaps_lp):+.4f}")
+        if gaps_hvp:
+            print(f"  METAHVP gap to optimal (opt - heur): "
+                  f"{np.mean(gaps_hvp):+.4f}")
+        if gaps_greedy:
+            print(f"  METAGREEDY gap to optimal:           "
+                  f"{np.mean(gaps_greedy):+.4f}")
+        print("\nExpected: the LP bound is nearly tight; METAHVP lands "
+              "within a few\npercent of optimal; METAGREEDY trails it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy shim: this environment has setuptools but no `wheel` and no
+network, so `pip install -e .` (PEP 660) cannot build. `python setup.py
+develop` / `pip install -e . --no-build-isolation` with this shim works.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Common algorithm interface.
+
+Every placement algorithm is a callable ``(ProblemInstance, rng=None) ->
+Allocation | None``: ``None`` means the algorithm failed to place all
+services (counted as a *failure* in the paper's success-rate metric).
+Deterministic algorithms ignore ``rng``.
+
+:class:`NamedAlgorithm` wraps a function with a stable name used by the
+experiment harness for reporting; :func:`registry` collects the paper's
+headline algorithms under their paper names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.instance import ProblemInstance
+
+__all__ = ["PlacementAlgorithm", "NamedAlgorithm"]
+
+
+class PlacementAlgorithm(Protocol):
+    """Structural type of all placement algorithms."""
+
+    name: str
+
+    def __call__(self, instance: ProblemInstance,
+                 rng: np.random.Generator | None = None
+                 ) -> Optional[Allocation]: ...
+
+
+@dataclass(frozen=True)
+class NamedAlgorithm:
+    """A placement algorithm with a report-friendly name."""
+
+    name: str
+    fn: Callable[..., Optional[Allocation]]
+    stochastic: bool = False
+
+    def __call__(self, instance: ProblemInstance,
+                 rng: np.random.Generator | None = None
+                 ) -> Optional[Allocation]:
+        if self.stochastic:
+            return self.fn(instance, rng=rng)
+        return self.fn(instance)
+
+    def __repr__(self) -> str:
+        return f"NamedAlgorithm({self.name!r})"

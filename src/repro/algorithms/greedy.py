@@ -1,0 +1,212 @@
+"""Greedy placement algorithms (§3.4): 7 service sorts × 7 node pickers.
+
+Each greedy algorithm walks the services in sorted order and commits each
+to a node chosen by a local criterion, considering only the service's rigid
+*requirements* for feasibility.  Once every service is placed, yields are
+set per node with the closed-form max-min computation (the fluid *needs*
+then share whatever headroom the placement left) — this mirrors the
+original homogeneous formulation of [3], where greedy placement is a
+single pass and the yield optimization happens after placement.
+
+Service sorting strategies (on aggregate vectors):
+
+* S1 — no sorting;
+* S2 — decreasing max need;
+* S3 — decreasing sum of needs;
+* S4 — decreasing max requirement;
+* S5 — decreasing sum of requirements;
+* S6 — decreasing max(sum of requirements, sum of needs);
+* S7 — decreasing (sum of requirements + sum of needs).
+
+Node selection strategies (among nodes whose remaining capacity fits the
+service's requirements):
+
+* P1 — most available capacity in the dimension of the service's max need;
+* P2 — min ratio of total load (after placement) to total capacity;
+* P3 — least remaining capacity in the dimension of the service's largest
+  requirement (best fit);
+* P4 — least total available capacity (best fit);
+* P5 — most remaining capacity in the dimension of the largest requirement
+  (worst fit);
+* P6 — most total available capacity (worst fit);
+* P7 — first fitting node (first fit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.instance import ProblemInstance
+from .base import NamedAlgorithm
+
+__all__ = [
+    "SERVICE_SORTS",
+    "NODE_PICKERS",
+    "greedy_algorithm",
+    "all_greedy_algorithms",
+    "metagreedy",
+]
+
+
+# ----------------------------------------------------------------------
+# Service sorting (S1-S7).  Each returns the processing order (indices).
+# ----------------------------------------------------------------------
+
+def _desc(keys: np.ndarray) -> np.ndarray:
+    # Stable descending order: sort ascending on negated keys.
+    return np.argsort(-keys, kind="stable")
+
+
+def _order_s1(inst: ProblemInstance) -> np.ndarray:
+    return np.arange(inst.num_services)
+
+
+def _order_s2(inst: ProblemInstance) -> np.ndarray:
+    return _desc(inst.services.need_agg.max(axis=1))
+
+
+def _order_s3(inst: ProblemInstance) -> np.ndarray:
+    return _desc(inst.services.need_agg.sum(axis=1))
+
+
+def _order_s4(inst: ProblemInstance) -> np.ndarray:
+    return _desc(inst.services.req_agg.max(axis=1))
+
+
+def _order_s5(inst: ProblemInstance) -> np.ndarray:
+    return _desc(inst.services.req_agg.sum(axis=1))
+
+
+def _order_s6(inst: ProblemInstance) -> np.ndarray:
+    sums_r = inst.services.req_agg.sum(axis=1)
+    sums_n = inst.services.need_agg.sum(axis=1)
+    return _desc(np.maximum(sums_r, sums_n))
+
+
+def _order_s7(inst: ProblemInstance) -> np.ndarray:
+    return _desc(inst.services.req_agg.sum(axis=1)
+                 + inst.services.need_agg.sum(axis=1))
+
+
+SERVICE_SORTS: dict[str, Callable[[ProblemInstance], np.ndarray]] = {
+    "S1": _order_s1, "S2": _order_s2, "S3": _order_s3, "S4": _order_s4,
+    "S5": _order_s5, "S6": _order_s6, "S7": _order_s7,
+}
+
+
+# ----------------------------------------------------------------------
+# Node picking (P1-P7).  Each scores candidate nodes; the picker receives
+# the candidate index array, the current (H, D) loads, the instance and
+# the service index, and returns the chosen node index.
+# ----------------------------------------------------------------------
+
+def _pick_p1(cands, loads, inst, j):
+    remaining = inst.nodes.aggregate[cands] - loads[cands]
+    dim = int(np.argmax(inst.services.need_agg[j]))
+    return cands[int(np.argmax(remaining[:, dim]))]
+
+
+def _pick_p2(cands, loads, inst, j):
+    after = loads[cands].sum(axis=1) + inst.services.req_agg[j].sum()
+    ratio = after / inst.nodes.aggregate[cands].sum(axis=1)
+    return cands[int(np.argmin(ratio))]
+
+
+def _pick_p3(cands, loads, inst, j):
+    remaining = inst.nodes.aggregate[cands] - loads[cands]
+    dim = int(np.argmax(inst.services.req_agg[j]))
+    return cands[int(np.argmin(remaining[:, dim]))]
+
+
+def _pick_p4(cands, loads, inst, j):
+    remaining = (inst.nodes.aggregate[cands] - loads[cands]).sum(axis=1)
+    return cands[int(np.argmin(remaining))]
+
+
+def _pick_p5(cands, loads, inst, j):
+    remaining = inst.nodes.aggregate[cands] - loads[cands]
+    dim = int(np.argmax(inst.services.req_agg[j]))
+    return cands[int(np.argmax(remaining[:, dim]))]
+
+
+def _pick_p6(cands, loads, inst, j):
+    remaining = (inst.nodes.aggregate[cands] - loads[cands]).sum(axis=1)
+    return cands[int(np.argmax(remaining))]
+
+
+def _pick_p7(cands, loads, inst, j):
+    return cands[0]
+
+
+NODE_PICKERS: dict[str, Callable] = {
+    "P1": _pick_p1, "P2": _pick_p2, "P3": _pick_p3, "P4": _pick_p4,
+    "P5": _pick_p5, "P6": _pick_p6, "P7": _pick_p7,
+}
+
+
+# ----------------------------------------------------------------------
+# The greedy driver.
+# ----------------------------------------------------------------------
+
+def _greedy_place(inst: ProblemInstance, order: np.ndarray,
+                  pick: Callable) -> Optional[np.ndarray]:
+    sv, nd = inst.services, inst.nodes
+    # Static elementary feasibility of requirements, (J, H).
+    elem_ok = (sv.req_elem[:, None, :] <= nd.elementary[None, :, :] + 1e-12
+               ).all(axis=2)
+    loads = np.zeros_like(nd.aggregate)
+    placement = np.full(inst.num_services, -1, dtype=np.int64)
+    for j in order:
+        j = int(j)
+        fits = elem_ok[j] & (
+            loads + sv.req_agg[j] <= nd.aggregate + 1e-12).all(axis=1)
+        cands = np.flatnonzero(fits)
+        if cands.size == 0:
+            return None
+        h = int(pick(cands, loads, inst, j))
+        loads[h] += sv.req_agg[j]
+        placement[j] = h
+    return placement
+
+
+def greedy_algorithm(sort_name: str, pick_name: str) -> NamedAlgorithm:
+    """One of the 49 greedy combinations, e.g. ``greedy_algorithm("S3", "P2")``."""
+    order_fn = SERVICE_SORTS[sort_name]
+    pick_fn = NODE_PICKERS[pick_name]
+
+    def solve(instance: ProblemInstance) -> Optional[Allocation]:
+        placement = _greedy_place(instance, order_fn(instance), pick_fn)
+        if placement is None:
+            return None
+        # Requirements are guaranteed to fit; distribute needs per node.
+        return Allocation.uniform(instance, placement, 0.0).improve_yields()
+
+    return NamedAlgorithm(f"GREEDY:{sort_name}:{pick_name}", solve)
+
+
+def all_greedy_algorithms() -> tuple[NamedAlgorithm, ...]:
+    """All 49 sort × picker combinations (§3.4)."""
+    return tuple(greedy_algorithm(s, p)
+                 for s in SERVICE_SORTS for p in NODE_PICKERS)
+
+
+def metagreedy() -> NamedAlgorithm:
+    """METAGREEDY: run all 49 greedy algorithms, keep the best minimum yield."""
+    members = all_greedy_algorithms()
+
+    def solve(instance: ProblemInstance) -> Optional[Allocation]:
+        best: Optional[Allocation] = None
+        best_yield = -1.0
+        for algo in members:
+            alloc = algo(instance)
+            if alloc is None:
+                continue
+            y = alloc.minimum_yield()
+            if y > best_yield:
+                best, best_yield = alloc, y
+        return best
+
+    return NamedAlgorithm("METAGREEDY", solve)

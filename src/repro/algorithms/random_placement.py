@@ -1,0 +1,40 @@
+"""Uniform-random placement baseline.
+
+Not in the paper's Table 1, but a useful sanity floor for the harness:
+any heuristic that cannot clearly beat "place each service on a uniformly
+random node whose requirements fit" is not earning its complexity.  The
+retry discipline mirrors RRND (zero out an infeasible draw, renormalize)
+so the two differ *only* in their initial probability table — which
+isolates the value the LP relaxation adds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.instance import ProblemInstance
+from ..util.rng import as_generator
+from .base import NamedAlgorithm
+from .rounding import round_probabilities
+
+__all__ = ["random_placement"]
+
+
+def random_placement() -> NamedAlgorithm:
+    """Uniform-random feasible placement followed by per-node yield
+    optimization."""
+
+    def solve(instance: ProblemInstance,
+              rng: np.random.Generator | None = None) -> Optional[Allocation]:
+        rng = as_generator(rng)
+        probs = np.full((instance.num_services, instance.num_nodes),
+                        1.0 / instance.num_nodes)
+        placement = round_probabilities(instance, probs, rng)
+        if placement is None:
+            return None
+        return Allocation.uniform(instance, placement, 0.0).improve_yields()
+
+    return NamedAlgorithm("RANDOM", solve, stochastic=True)

@@ -1,0 +1,58 @@
+"""Vector-packing heuristics (§3.5): FF/BF/PP/CP, sorts, and META* combinators."""
+
+from .best_fit import best_fit
+from .first_fit import first_fit
+from .meta import (
+    meta_algorithm,
+    meta_packer,
+    metahvp,
+    metahvp_light,
+    metavp,
+    single_strategy_algorithm,
+    strategy_packer,
+)
+from .permutation_pack import permutation_pack, rank_from_order
+from .sorting import ALL_SORTS, NONE_SORT, SortStrategy, metric_values, order_indices
+from .state import PackingState
+from .strategies import (
+    BF,
+    CP,
+    FF,
+    PP,
+    ProbeContext,
+    VPStrategy,
+    hvp_light_strategies,
+    hvp_strategies,
+    run_strategy,
+    vp_strategies,
+)
+
+__all__ = [
+    "ALL_SORTS",
+    "BF",
+    "CP",
+    "FF",
+    "NONE_SORT",
+    "PP",
+    "PackingState",
+    "ProbeContext",
+    "SortStrategy",
+    "VPStrategy",
+    "best_fit",
+    "first_fit",
+    "hvp_light_strategies",
+    "hvp_strategies",
+    "meta_algorithm",
+    "meta_packer",
+    "metahvp",
+    "metahvp_light",
+    "metavp",
+    "metric_values",
+    "order_indices",
+    "permutation_pack",
+    "rank_from_order",
+    "run_strategy",
+    "single_strategy_algorithm",
+    "strategy_packer",
+    "vp_strategies",
+]

@@ -1,0 +1,45 @@
+"""Best-Fit vector packing (§3.5.1, §3.5.4).
+
+The homogeneous variant considers bins "in descending order of the sum of
+their loads across all dimensions": the fullest fitting bin wins (classic
+best fit).  The heterogeneous variant is "modified to consider total
+remaining capacity rather than total load": the fitting bin with the least
+total remaining capacity wins.  On homogeneous platforms the two orders
+coincide; on heterogeneous ones only the remaining-capacity version
+meaningfully identifies the tightest bin.
+
+Best-Fit imposes its own (dynamic) bin order, so it takes no bin-sort
+strategy — this is why METAHVP counts ``11 + 2*11*11`` strategies, with
+Best-Fit contributing only the 11 item sorts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .state import PackingState
+
+__all__ = ["best_fit"]
+
+
+def best_fit(state: PackingState, item_order: np.ndarray,
+             by_remaining_capacity: bool) -> bool:
+    """Pack all items; returns True on success.
+
+    ``by_remaining_capacity=False`` reproduces the homogeneous-VP rule
+    (max total load first); ``True`` the heterogeneous rule (min total
+    remaining capacity first).
+    """
+    for j in item_order:
+        fits = state.bins_fitting_item(j)
+        if not fits.any():
+            return False
+        if by_remaining_capacity:
+            score = (state.bin_agg - state.loads).sum(axis=1)
+        else:
+            score = -state.loads.sum(axis=1)
+        # Among fitting bins pick the minimal score; break ties by index
+        # (masked argmin is stable on first occurrence).
+        score = np.where(fits, score, np.inf)
+        state.place(j, int(np.argmin(score)))
+    return True

@@ -1,0 +1,31 @@
+"""First-Fit vector packing (§3.5.1).
+
+Items are considered in the given sort order; each goes to the first bin
+(in the given bin order) that fits.  The homogeneous VP variant uses the
+natural bin order; the heterogeneous variant receives bins pre-sorted by a
+capacity metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .state import PackingState
+
+__all__ = ["first_fit"]
+
+
+def first_fit(state: PackingState, item_order: np.ndarray,
+              bin_order: np.ndarray) -> bool:
+    """Pack all items; returns True on success.
+
+    ``item_order`` and ``bin_order`` are index arrays (permutations).
+    """
+    for j in item_order:
+        fits = state.bins_fitting_item(j)
+        ordered_fits = fits[bin_order]
+        pos = np.argmax(ordered_fits)
+        if not ordered_fits[pos]:
+            return False
+        state.place(j, int(bin_order[pos]))
+    return True

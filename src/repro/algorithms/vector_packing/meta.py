@@ -1,0 +1,98 @@
+"""META* combinators: METAVP, METAHVP, METAHVPLIGHT (§3.5.3-3.5.5, §5.1).
+
+Each META algorithm wraps a strategy list in a single feasibility oracle —
+"some strategy packs the instance at yield *y*" — and binary-searches the
+largest such *y*.  By construction a META algorithm succeeds on every
+instance any of its member strategies solves, and certifies a yield at
+least as large (§3.5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...core.allocation import Allocation
+from ...core.instance import ProblemInstance
+from ..base import NamedAlgorithm
+from ..yield_search import DEFAULT_TOLERANCE, binary_search_max_yield
+from .strategies import (
+    ProbeContext,
+    VPStrategy,
+    hvp_light_strategies,
+    hvp_strategies,
+    vp_strategies,
+)
+
+__all__ = [
+    "meta_packer",
+    "strategy_packer",
+    "meta_algorithm",
+    "single_strategy_algorithm",
+    "metavp",
+    "metahvp",
+    "metahvp_light",
+]
+
+
+def meta_packer(strategies: Sequence[VPStrategy]):
+    """Feasibility oracle that tries *strategies* in order until one packs."""
+
+    def pack(instance: ProblemInstance, y: float) -> Optional[np.ndarray]:
+        ctx = ProbeContext(instance, y)
+        if ctx.infeasible:
+            return None
+        for strategy in strategies:
+            placement = ctx.run(strategy)
+            if placement is not None:
+                return placement
+        return None
+
+    return pack
+
+
+def strategy_packer(strategy: VPStrategy):
+    """Feasibility oracle for a single strategy."""
+    return meta_packer((strategy,))
+
+
+def meta_algorithm(name: str, strategies: Sequence[VPStrategy],
+                   tolerance: float = DEFAULT_TOLERANCE,
+                   improve: bool = True) -> NamedAlgorithm:
+    """Wrap a strategy list into a complete max-min-yield algorithm."""
+    packer = meta_packer(strategies)
+
+    def solve(instance: ProblemInstance) -> Optional[Allocation]:
+        return binary_search_max_yield(instance, packer,
+                                       tolerance=tolerance, improve=improve)
+
+    return NamedAlgorithm(name, solve)
+
+
+def single_strategy_algorithm(strategy: VPStrategy,
+                              tolerance: float = DEFAULT_TOLERANCE,
+                              improve: bool = True) -> NamedAlgorithm:
+    """A complete algorithm from one packing strategy (used by §5.1's
+    per-strategy ranking exploration)."""
+    return meta_algorithm(strategy.name, (strategy,),
+                          tolerance=tolerance, improve=improve)
+
+
+def metavp(tolerance: float = DEFAULT_TOLERANCE, window: int | None = None
+           ) -> NamedAlgorithm:
+    """METAVP: all 33 homogeneous vector-packing strategies (§3.5.3)."""
+    return meta_algorithm("METAVP", vp_strategies(window), tolerance=tolerance)
+
+
+def metahvp(tolerance: float = DEFAULT_TOLERANCE, window: int | None = None
+            ) -> NamedAlgorithm:
+    """METAHVP: all 253 heterogeneous strategies (§3.5.5)."""
+    return meta_algorithm("METAHVP", hvp_strategies(window), tolerance=tolerance)
+
+
+def metahvp_light(tolerance: float = DEFAULT_TOLERANCE,
+                  window: int | None = None) -> NamedAlgorithm:
+    """METAHVPLIGHT: the 60-strategy subset of §5.1 (≈10× faster)."""
+    return meta_algorithm("METAHVPLIGHT", hvp_light_strategies(window),
+                          tolerance=tolerance)

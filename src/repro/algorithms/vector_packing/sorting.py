@@ -1,0 +1,115 @@
+"""Vector-to-scalar metrics and sort strategies for items and bins (§3.5).
+
+There is no canonical notion of vector "size"; the paper evaluates five
+mappings — MAX, SUM, MAXRATIO (max/min), MAXDIFFERENCE (max−min) and LEX
+(lexicographic, CPU before memory) — each usable ascending or descending,
+plus NONE (keep natural order).  That yields 11 distinct strategies for
+items and likewise for bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "Metric",
+    "SortStrategy",
+    "ALL_SORTS",
+    "NONE_SORT",
+    "metric_values",
+    "order_indices",
+]
+
+# Metric identifiers.  LEX is special-cased (not a scalar mapping).
+MAX = "MAX"
+SUM = "SUM"
+MAXRATIO = "MAXRATIO"
+MAXDIFFERENCE = "MAXDIFFERENCE"
+LEX = "LEX"
+NONE = "NONE"
+
+Metric = str
+SCALAR_METRICS: tuple[Metric, ...] = (MAX, SUM, MAXRATIO, MAXDIFFERENCE)
+ALL_METRICS: tuple[Metric, ...] = SCALAR_METRICS + (LEX,)
+
+
+@dataclass(frozen=True)
+class SortStrategy:
+    """One way of ordering a set of D-dimensional vectors."""
+
+    metric: Metric
+    descending: bool = False
+
+    @property
+    def is_none(self) -> bool:
+        return self.metric == NONE
+
+    @property
+    def name(self) -> str:
+        if self.is_none:
+            return "NONE"
+        return f"{'DESC' if self.descending else 'ASC'}-{self.metric}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+NONE_SORT = SortStrategy(NONE)
+
+#: The 11 strategies of §3.5: 5 metrics × {asc, desc} + NONE.
+ALL_SORTS: tuple[SortStrategy, ...] = tuple(
+    SortStrategy(m, descending=d) for m in ALL_METRICS for d in (False, True)
+) + (NONE_SORT,)
+
+
+def metric_values(vectors: np.ndarray, metric: Metric) -> np.ndarray:
+    """Scalar metric of each row of ``vectors`` (shape ``(N, D)``).
+
+    MAXRATIO of a row with a zero minimum is defined as ``+inf`` when the
+    maximum is positive (maximally "skewed") and ``1`` for an all-zero row
+    (perfectly balanced); this keeps the ordering total without NaNs.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if metric == MAX:
+        return vectors.max(axis=1)
+    if metric == SUM:
+        return vectors.sum(axis=1)
+    if metric == MAXDIFFERENCE:
+        return vectors.max(axis=1) - vectors.min(axis=1)
+    if metric == MAXRATIO:
+        hi = vectors.max(axis=1)
+        lo = vectors.min(axis=1)
+        out = np.ones_like(hi)
+        # hi/lo can overflow to inf for denormal lo; inf is the intended
+        # "maximally skewed" ordering value, so silence the warning only.
+        with np.errstate(over="ignore"):
+            np.divide(hi, lo, out=out, where=lo > 0)
+        out[(lo == 0) & (hi > 0)] = np.inf
+        return out
+    raise ValueError(f"metric {metric!r} has no scalar mapping")
+
+
+def order_indices(vectors: np.ndarray, strategy: SortStrategy) -> np.ndarray:
+    """Indices that order the rows of ``vectors`` per *strategy*.
+
+    Sorting is stable, so equal elements keep their natural order — this
+    makes strategy comparisons deterministic and reproducible.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    n = vectors.shape[0]
+    if strategy.is_none:
+        return np.arange(n)
+    if strategy.metric == LEX:
+        # np.lexsort uses the *last* key as primary; dimension 0 (CPU)
+        # must be the primary comparison per the paper.
+        keys = tuple(vectors[:, d] for d in range(vectors.shape[1] - 1, -1, -1))
+        idx = np.lexsort(keys)
+    else:
+        values = metric_values(vectors, strategy.metric)
+        idx = np.argsort(values, kind="stable")
+    if strategy.descending:
+        idx = idx[::-1].copy()
+    return idx

@@ -1,0 +1,100 @@
+"""Mutable packing state shared by all vector-packing heuristics.
+
+One :class:`PackingState` represents a single feasibility question: "place
+these J items (service demands at a fixed yield) into these H bins (nodes)".
+Per the HPC guides, the state keeps everything in flat numpy arrays and
+performs fit checks as vectorized comparisons:
+
+* the **elementary** fit test does not depend on current loads, so the full
+  ``(J, H)`` boolean table is precomputed once per yield probe;
+* the **aggregate** test is ``loads[h] + demand[j] <= capacity[h]``, checked
+  against the single mutable ``loads`` array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.instance import ProblemInstance
+
+__all__ = ["PackingState"]
+
+
+class PackingState:
+    """Bin-packing scratch state for one (instance, yield) feasibility probe."""
+
+    __slots__ = (
+        "instance", "item_elem", "item_agg", "bin_elem", "bin_agg",
+        "loads", "assignment", "elem_ok", "unplaced_count",
+    )
+
+    def __init__(self, instance: ProblemInstance, y: float):
+        sv, nd = instance.services, instance.nodes
+        self.instance = instance
+        self.item_elem = sv.req_elem + y * sv.need_elem   # (J, D)
+        self.item_agg = sv.req_agg + y * sv.need_agg      # (J, D)
+        self.bin_elem = nd.elementary                      # (H, D) read-only
+        self.bin_agg = nd.aggregate                        # (H, D) read-only
+        self.loads = np.zeros_like(nd.aggregate)           # (H, D) mutable
+        J = len(sv)
+        self.assignment = np.full(J, -1, dtype=np.int64)
+        self.unplaced_count = J
+        # Static elementary feasibility: item j may go on bin h only if its
+        # elementary demand fits a single element in every dimension.
+        self.elem_ok = (
+            self.item_elem[:, None, :] <= self.bin_elem[None, :, :] + 1e-12
+        ).all(axis=2)                                      # (J, H)
+
+    def reset(self) -> None:
+        """Clear loads and assignments so another strategy can reuse the
+        (expensive) precomputed demand arrays and elementary-fit table."""
+        self.loads[:] = 0.0
+        self.assignment[:] = -1
+        self.unplaced_count = self.assignment.shape[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_items(self) -> int:
+        return self.assignment.shape[0]
+
+    @property
+    def num_bins(self) -> int:
+        return self.bin_agg.shape[0]
+
+    @property
+    def complete(self) -> bool:
+        return self.unplaced_count == 0
+
+    def trivially_infeasible(self) -> bool:
+        """True when some item fits no bin even in isolation."""
+        if not self.elem_ok.any(axis=1).all():
+            return True
+        agg_ok = (
+            self.item_agg[:, None, :] <= self.bin_agg[None, :, :] + 1e-12
+        ).all(axis=2)
+        return not (self.elem_ok & agg_ok).any(axis=1).all()
+
+    # ------------------------------------------------------------------
+    def bins_fitting_item(self, j: int) -> np.ndarray:
+        """Boolean mask over bins that can accept item *j* right now."""
+        agg_ok = (self.loads + self.item_agg[j]
+                  <= self.bin_agg + 1e-12).all(axis=1)
+        return self.elem_ok[j] & agg_ok
+
+    def items_fitting_bin(self, h: int, candidates: np.ndarray) -> np.ndarray:
+        """Boolean mask over *candidates* (item indices) that fit bin *h* now."""
+        remaining = self.bin_agg[h] - self.loads[h]
+        agg_ok = (self.item_agg[candidates] <= remaining + 1e-12).all(axis=1)
+        return self.elem_ok[candidates, h] & agg_ok
+
+    def place(self, j: int, h: int) -> None:
+        self.loads[h] += self.item_agg[j]
+        self.assignment[j] = h
+        self.unplaced_count -= 1
+
+    def unplaced_items(self) -> np.ndarray:
+        return np.flatnonzero(self.assignment < 0)
+
+    def result(self) -> np.ndarray | None:
+        """Final placement array, or ``None`` if any item is unplaced."""
+        return self.assignment.copy() if self.complete else None

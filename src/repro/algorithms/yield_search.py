@@ -1,0 +1,82 @@
+"""Binary search over the uniform yield (§3.5).
+
+For a fixed yield ``y`` every service's demand is fixed at
+``(r^e + y n^e, r^a + y n^a)``, so any bin-packing heuristic answers the
+feasibility question "can all services be placed at yield ``y``?".  Since
+the objective is the *minimum* yield, it is WLOG to give all services the
+same yield during the search; we binary-search for the largest feasible
+``y``, stopping when the bracket is narrower than ``tolerance`` (the paper
+uses 0.0001).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.instance import ProblemInstance
+
+__all__ = ["binary_search_max_yield", "DEFAULT_TOLERANCE"]
+
+DEFAULT_TOLERANCE = 1e-4
+
+# A packer answers: "placement achieving uniform yield y, or None".
+Packer = Callable[[ProblemInstance, float], Optional[np.ndarray]]
+
+
+def binary_search_max_yield(
+    instance: ProblemInstance,
+    packer: Packer,
+    tolerance: float = DEFAULT_TOLERANCE,
+    improve: bool = True,
+) -> Optional[Allocation]:
+    """Maximize the uniform yield achievable by *packer*.
+
+    Parameters
+    ----------
+    instance:
+        The problem to solve.
+    packer:
+        Feasibility oracle: returns a placement array at the queried yield
+        or ``None``.  Monotonicity is *not* assumed — heuristic packers can
+        fail at an easier yield after succeeding at a harder one — but the
+        search treats any success as a new lower bound, exactly as in the
+        paper.
+    tolerance:
+        Stop when ``hi - lo`` falls below this (paper: 0.0001).
+    improve:
+        Post-process the final placement with the per-node closed-form
+        max-min yield (never lowers the certified uniform yield).
+
+    Returns the best allocation found, or ``None`` when even yield 0 (the
+    rigid requirements alone) cannot be packed.
+    """
+    hi = instance.yield_upper_bound()
+
+    # Try the capacity bound outright: in slack instances (or when all
+    # needs are satisfiable) the search collapses to one probe.
+    if hi > 0.0:
+        placement = packer(instance, hi)
+        if placement is not None:
+            alloc = Allocation.uniform(instance, placement, hi)
+            return alloc.improve_yields() if improve else alloc
+
+    placement = packer(instance, 0.0)
+    if placement is None:
+        return None
+    best_placement = placement
+    lo = 0.0
+
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        placement = packer(instance, mid)
+        if placement is not None:
+            lo = mid
+            best_placement = placement
+        else:
+            hi = mid
+
+    alloc = Allocation.uniform(instance, best_placement, lo)
+    return alloc.improve_yields() if improve else alloc

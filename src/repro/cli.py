@@ -1,0 +1,297 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-experiments table1                 # quick-scale Table 1
+    repro-experiments table2 --paper         # full-scale Table 2 (slow!)
+    repro-experiments fig-cov --services 500 --slack 0.3
+    repro-experiments fig-cov --variant cpu  # Figure 3
+    repro-experiments fig-error --services 250
+    repro-experiments all --output results/
+
+Every command prints the text rendering and, with ``--output``, writes a
+CSV next to it.  ``--paper`` switches to the full §4 grid (CPU-days in
+pure Python; the default quick grid preserves the qualitative shape).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+
+from .experiments import (
+    PAPER_GRID,
+    QUICK_GRID,
+    CovFigureSpec,
+    ErrorFigureSpec,
+    GridSpec,
+    format_cov_figure,
+    format_error_figure,
+    format_table1,
+    format_table2,
+    run_cov_figure,
+    run_error_figure,
+    run_table1,
+    run_table2,
+)
+from .experiments.report import ensure_dir, write_csv
+from .experiments.table1 import DEFAULT_TABLE1_ALGORITHMS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: all cores)")
+    parser.add_argument("--output", default=None,
+                        help="directory for CSV/text outputs")
+    parser.add_argument("--seed", type=int, default=2012)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="pairwise comparisons (Table 1)")
+    t1.add_argument("--paper", action="store_true",
+                    help="full paper grid instead of the quick grid")
+    t1.add_argument("--instances", type=int, default=None)
+    t1.add_argument("--include-light", action="store_true",
+                    help="add METAHVPLIGHT (the §5.1 comparison)")
+    t1.add_argument("--algorithms", nargs="+", default=None)
+
+    t2 = sub.add_parser("table2", help="run times (Table 2)")
+    t2.add_argument("--paper", action="store_true")
+    t2.add_argument("--instances", type=int, default=None)
+    t2.add_argument("--include-light", action="store_true")
+
+    fc = sub.add_parser("fig-cov", help="yield-vs-CoV figures (2-4, 8-34)")
+    fc.add_argument("--services", type=int, default=None)
+    fc.add_argument("--slack", type=float, default=0.3)
+    fc.add_argument("--hosts", type=int, default=None)
+    fc.add_argument("--instances", type=int, default=None)
+    fc.add_argument("--variant", choices=("none", "cpu", "mem"),
+                    default="none",
+                    help="hold CPU (Fig 3) or memory (Fig 4) homogeneous")
+    fc.add_argument("--paper", action="store_true")
+
+    fe = sub.add_parser("fig-error", help="error-impact figures (5-7, 35-66)")
+    fe.add_argument("--services", type=int, default=None)
+    fe.add_argument("--slack", type=float, default=0.4)
+    fe.add_argument("--cov", type=float, default=0.5)
+    fe.add_argument("--hosts", type=int, default=None)
+    fe.add_argument("--instances", type=int, default=None)
+    fe.add_argument("--placer", default=None,
+                    help="placement algorithm (default METAHVPLIGHT quick, "
+                         "METAHVP with --paper)")
+    fe.add_argument("--include-caps", action="store_true",
+                    help="also report the ALLOCCAPS series")
+    fe.add_argument("--paper", action="store_true")
+
+    rk = sub.add_parser("rank-strategies",
+                        help="§5.1 exploration: rank all 253 HVP strategies")
+    rk.add_argument("--services", type=int, default=20)
+    rk.add_argument("--hosts", type=int, default=8)
+    rk.add_argument("--instances", type=int, default=4)
+    rk.add_argument("--top", type=int, default=25)
+
+    dy = sub.add_parser("dynamic",
+                        help="dynamic hosting simulation (future-work)")
+    dy.add_argument("--hosts", type=int, default=12)
+    dy.add_argument("--horizon", type=int, default=40)
+    dy.add_argument("--arrival-rate", type=float, default=2.0)
+    dy.add_argument("--lifetime", type=float, default=10.0)
+    dy.add_argument("--periods", type=int, nargs="+", default=[1, 4, 10, 40])
+    dy.add_argument("--max-error", type=float, default=0.1)
+    dy.add_argument("--threshold", type=float, default=0.1)
+
+    al = sub.add_parser("all", help="run every experiment at quick scale")
+    al.add_argument("--paper", action="store_true")
+
+    return parser
+
+
+def _grid(args: argparse.Namespace) -> GridSpec:
+    grid = PAPER_GRID if args.paper else QUICK_GRID
+    overrides = {"seed": args.seed}
+    if getattr(args, "instances", None):
+        overrides["instances"] = args.instances
+    return dataclasses.replace(grid, **overrides)
+
+
+def _emit(args: argparse.Namespace, name: str, text: str, data=None) -> None:
+    print(text)
+    print()
+    if args.output:
+        ensure_dir(args.output)
+        with open(os.path.join(args.output, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+        if data is not None and hasattr(data, "to_csv"):
+            data.to_csv(os.path.join(args.output, f"{name}.csv"))
+
+
+def _cmd_table1(args) -> None:
+    algorithms = args.algorithms or list(DEFAULT_TABLE1_ALGORITHMS)
+    if getattr(args, "include_light", False) and "METAHVPLIGHT" not in algorithms:
+        algorithms = list(algorithms) + ["METAHVPLIGHT"]
+    data = run_table1(_grid(args), algorithms, workers=args.workers)
+    _emit(args, "table1", format_table1(data))
+
+
+def _cmd_table2(args) -> None:
+    algorithms = ["RRNZ", "METAGREEDY", "METAVP", "METAHVP"]
+    if args.include_light:
+        algorithms.append("METAHVPLIGHT")
+    data = run_table2(_grid(args), algorithms, workers=args.workers)
+    _emit(args, "table2", format_table2(data))
+
+
+def _cov_spec(args) -> CovFigureSpec:
+    if args.paper:
+        spec = CovFigureSpec(seed=args.seed)
+    else:
+        spec = CovFigureSpec(
+            hosts=16, services=48, instances=3,
+            cov_values=tuple(round(0.1 * i, 6) for i in range(10)),
+            seed=args.seed)
+    overrides = {}
+    if args.services:
+        overrides["services"] = args.services
+    if args.hosts:
+        overrides["hosts"] = args.hosts
+    if args.instances:
+        overrides["instances"] = args.instances
+    overrides["slack"] = args.slack
+    overrides["cpu_homogeneous"] = args.variant == "cpu"
+    overrides["mem_homogeneous"] = args.variant == "mem"
+    return dataclasses.replace(spec, **overrides)
+
+
+def _cmd_fig_cov(args) -> None:
+    spec = _cov_spec(args)
+    data = run_cov_figure(spec, workers=args.workers)
+    name = f"fig-cov-J{spec.services}-slack{spec.slack:g}"
+    if spec.cpu_homogeneous:
+        name += "-cpuhom"
+    if spec.mem_homogeneous:
+        name += "-memhom"
+    _emit(args, name, format_cov_figure(data), data)
+
+
+def _error_spec(args) -> ErrorFigureSpec:
+    if args.paper:
+        spec = ErrorFigureSpec(seed=args.seed, placer="METAHVP")
+    else:
+        spec = ErrorFigureSpec(
+            hosts=16, services=48, instances=3,
+            error_values=tuple(round(0.04 * i, 6) for i in range(8)),
+            placer="METAHVPLIGHT", seed=args.seed)
+    overrides = {"slack": args.slack, "cov": args.cov,
+                 "include_caps": args.include_caps}
+    if args.services:
+        overrides["services"] = args.services
+    if args.hosts:
+        overrides["hosts"] = args.hosts
+    if args.instances:
+        overrides["instances"] = args.instances
+    if args.placer:
+        overrides["placer"] = args.placer
+    return dataclasses.replace(spec, **overrides)
+
+
+def _cmd_fig_error(args) -> None:
+    spec = _error_spec(args)
+    data = run_error_figure(spec, workers=args.workers)
+    name = f"fig-error-J{spec.services}-slack{spec.slack:g}-cov{spec.cov:g}"
+    _emit(args, name, format_error_figure(data), data)
+
+
+def _cmd_all(args) -> None:
+    ns = argparse.Namespace(**vars(args))
+    ns.instances = None
+    ns.algorithms = None
+    ns.include_light = True
+    _cmd_table1(ns)
+    _cmd_table2(ns)
+    for services in (None,):
+        for variant in ("none", "cpu", "mem"):
+            cov_ns = argparse.Namespace(**vars(args))
+            cov_ns.services = services
+            cov_ns.hosts = None
+            cov_ns.instances = None
+            cov_ns.slack = 0.3
+            cov_ns.variant = variant
+            _cmd_fig_cov(cov_ns)
+    err_ns = argparse.Namespace(**vars(args))
+    err_ns.services = None
+    err_ns.hosts = None
+    err_ns.instances = None
+    err_ns.slack = 0.4
+    err_ns.cov = 0.5
+    err_ns.placer = None
+    err_ns.include_caps = True
+    _cmd_fig_error(err_ns)
+
+
+def _cmd_rank_strategies(args) -> None:
+    from .experiments.strategy_ranking import format_ranking, rank_strategies
+    from .workloads import ScenarioConfig
+    configs = [
+        ScenarioConfig(hosts=args.hosts, services=args.services, cov=cov,
+                       slack=0.5, seed=args.seed, instance_index=idx)
+        for cov in (0.25, 0.75)
+        for idx in range(max(1, args.instances // 2))
+    ]
+    ranking = rank_strategies(configs, workers=args.workers)
+    _emit(args, "strategy-ranking", format_ranking(ranking, top_n=args.top))
+
+
+def _cmd_dynamic(args) -> None:
+    from .algorithms import metahvp_light
+    from .dynamic import DynamicSimulator, generate_trace
+    from .experiments.report import format_table
+    from .workloads import generate_platform
+    platform = generate_platform(hosts=args.hosts, cov=0.5, rng=args.seed)
+    trace = generate_trace(
+        horizon=args.horizon, mean_arrivals_per_step=args.arrival_rate,
+        mean_lifetime_steps=args.lifetime, rng=args.seed + 1,
+        initial_services=args.hosts)
+    rows = []
+    for period in args.periods:
+        sim = DynamicSimulator(
+            platform, trace, placer=metahvp_light(),
+            reallocation_period=period, cpu_need_scale=0.05,
+            max_error=args.max_error, threshold=args.threshold,
+            rng=args.seed)
+        result = sim.run()
+        rows.append((period, f"{result.average_min_yield:.3f}",
+                     result.total_migrations,
+                     f"{result.average_pending:.2f}"))
+    _emit(args, "dynamic", format_table(
+        ("re-pack period", "avg min yield", "migrations", "avg pending"),
+        rows, title=f"Dynamic hosting on {args.hosts} hosts, horizon "
+                    f"{args.horizon}, error {args.max_error}, "
+                    f"threshold {args.threshold}"))
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig-cov": _cmd_fig_cov,
+    "fig-error": _cmd_fig_error,
+    "rank-strategies": _cmd_rank_strategies,
+    "dynamic": _cmd_dynamic,
+    "all": _cmd_all,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

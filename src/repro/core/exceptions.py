@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+Algorithms signal "no allocation found" by returning ``None`` (the paper
+accounts for this as a *failure* in its success-rate metric, not an error).
+Exceptions are reserved for genuinely invalid inputs or internal invariant
+violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionMismatchError(ReproError):
+    """Vectors with incompatible resource-dimension counts were combined."""
+
+    def __init__(self, expected: int, actual: int, what: str = "vector"):
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"{what} has {actual} resource dimensions, expected {expected}"
+        )
+
+
+class InvalidCapacityError(ReproError):
+    """A node capacity vector is malformed (negative, or aggregate < elementary)."""
+
+
+class InvalidServiceError(ReproError):
+    """A service descriptor is malformed (negative requirement/need)."""
+
+
+class InvalidAllocationError(ReproError):
+    """An allocation violates structural constraints of the problem instance."""
+
+
+class InfeasibleProblemError(ReproError):
+    """Raised by exact solvers when the instance admits no valid allocation.
+
+    Heuristics never raise this; they return ``None`` instead so the caller
+    can account for failures.
+    """
+
+
+class SolverError(ReproError):
+    """The back-end LP/MILP solver failed for reasons other than infeasibility."""

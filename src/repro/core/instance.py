@@ -1,0 +1,104 @@
+"""Problem instance: a platform plus a set of services to place.
+
+The instance is the single object handed to every algorithm in
+:mod:`repro.algorithms` and :mod:`repro.lp`.  It owns column-oriented
+(``numpy``) views of the nodes and services so that algorithms never touch
+per-object Python attributes in their hot loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import DimensionMismatchError
+from .node import Node, NodeArray
+from .service import Service, ServiceArray
+
+__all__ = ["ProblemInstance"]
+
+
+class ProblemInstance:
+    """An (H nodes, J services, D dimensions) resource-allocation problem.
+
+    Parameters
+    ----------
+    nodes:
+        The platform, as ``Node`` objects or a pre-built ``NodeArray``.
+    services:
+        The workload, as ``Service`` objects or a pre-built ``ServiceArray``.
+
+    Attributes
+    ----------
+    nodes: NodeArray
+    services: ServiceArray
+    """
+
+    __slots__ = ("nodes", "services")
+
+    def __init__(self,
+                 nodes: Iterable[Node] | NodeArray,
+                 services: Iterable[Service] | ServiceArray):
+        self.nodes = nodes if isinstance(nodes, NodeArray) else NodeArray(nodes)
+        self.services = (services if isinstance(services, ServiceArray)
+                         else ServiceArray(services))
+        if self.nodes.dims != self.services.dims:
+            raise DimensionMismatchError(self.nodes.dims, self.services.dims,
+                                         what="services")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_services(self) -> int:
+        return len(self.services)
+
+    @property
+    def dims(self) -> int:
+        return self.nodes.dims
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics used by workload scaling and sanity checks.
+    # ------------------------------------------------------------------
+    def total_capacity(self) -> np.ndarray:
+        """Sum of aggregate node capacities per dimension, shape ``(D,)``."""
+        return self.nodes.aggregate.sum(axis=0)
+
+    def total_requirements(self) -> np.ndarray:
+        """Sum of aggregate service requirements per dimension, shape ``(D,)``."""
+        return self.services.req_agg.sum(axis=0)
+
+    def total_needs(self) -> np.ndarray:
+        """Sum of aggregate service needs per dimension, shape ``(D,)``."""
+        return self.services.need_agg.sum(axis=0)
+
+    def yield_upper_bound(self) -> float:
+        """Cheap capacity-based upper bound on the maximum minimum yield.
+
+        Ignores placement entirely: at uniform yield *y* the total demand
+        ``Σ(r^a + y n^a)`` cannot exceed total capacity in any dimension.
+        The LP relaxation (:mod:`repro.lp`) gives a tighter bound; this one
+        is used to seed the binary search.
+        """
+        req = self.total_requirements()
+        need = self.total_needs()
+        cap = self.total_capacity()
+        bound = 1.0
+        for d in range(self.dims):
+            if need[d] > 0:
+                bound = min(bound, (cap[d] - req[d]) / need[d])
+        return max(0.0, min(1.0, bound))
+
+    def replace_services(self, services: ServiceArray) -> "ProblemInstance":
+        """New instance with the same platform and different services.
+
+        Used by the scaling pipeline (memory-slack families share one
+        platform) and the error-perturbation experiments.
+        """
+        return ProblemInstance(self.nodes, services)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ProblemInstance(H={self.num_nodes}, J={self.num_services}, "
+                f"D={self.dims})")

@@ -1,0 +1,110 @@
+"""Physical node model.
+
+A node is an ordered pair of D-dimensional capacity vectors (§2 of the
+paper): the *elementary* capacity of a single resource element and the
+*aggregate* capacity over all elements.  For poolable resources such as
+memory the two coincide; for partitionable-but-not-poolable resources such
+as CPU cores the elementary value caps what any single virtual element may
+receive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import InvalidCapacityError
+from .resources import VectorPair, as_vector
+
+__all__ = ["Node", "NodeArray"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A physical host with heterogeneous multi-dimensional capacity.
+
+    Parameters
+    ----------
+    capacity:
+        ``VectorPair`` with the elementary and aggregate capacity in each
+        resource dimension.
+    name:
+        Optional human-readable identifier used in reports and examples.
+    """
+
+    capacity: VectorPair
+    name: str = field(default="", compare=False)
+
+    @classmethod
+    def from_vectors(cls, elementary: Sequence[float], aggregate: Sequence[float],
+                     name: str = "") -> "Node":
+        return cls(VectorPair(as_vector(elementary), as_vector(aggregate)), name=name)
+
+    @classmethod
+    def multicore(cls, cores: int, per_core_cpu: float, memory: float,
+                  name: str = "") -> "Node":
+        """Convenience constructor for the 2-D (CPU, memory) evaluation setup.
+
+        Dimension 0 is CPU: elementary = one core, aggregate = ``cores`` times
+        that.  Dimension 1 is memory, which pools (elementary == aggregate).
+        """
+        if cores < 1:
+            raise InvalidCapacityError(f"node needs at least one core, got {cores}")
+        elem = np.array([per_core_cpu, memory], dtype=np.float64)
+        agg = np.array([per_core_cpu * cores, memory], dtype=np.float64)
+        return cls(VectorPair(elem, agg), name=name)
+
+    @property
+    def dims(self) -> int:
+        return self.capacity.dims
+
+    @property
+    def elementary(self) -> np.ndarray:
+        return self.capacity.elementary
+
+    @property
+    def aggregate(self) -> np.ndarray:
+        return self.capacity.aggregate
+
+
+class NodeArray:
+    """Column-oriented view of a node collection for vectorized algorithms.
+
+    Exposes ``elementary`` and ``aggregate`` as ``(H, D)`` float64 arrays.
+    The arrays are read-only; packing algorithms copy what they mutate
+    (per the HPC guide: views for reading, explicit copies for scratch
+    state, never hidden aliasing).
+    """
+
+    __slots__ = ("elementary", "aggregate", "names")
+
+    def __init__(self, nodes: Iterable[Node]):
+        nodes = list(nodes)
+        if not nodes:
+            raise InvalidCapacityError("NodeArray requires at least one node")
+        dims = nodes[0].dims
+        for n in nodes:
+            if n.dims != dims:
+                raise InvalidCapacityError(
+                    f"all nodes must share dimension count {dims}, got {n.dims}")
+        self.elementary = np.ascontiguousarray(
+            np.stack([n.elementary for n in nodes]))
+        self.aggregate = np.ascontiguousarray(
+            np.stack([n.aggregate for n in nodes]))
+        self.elementary.setflags(write=False)
+        self.aggregate.setflags(write=False)
+        self.names = tuple(n.name for n in nodes)
+
+    def __len__(self) -> int:
+        return self.elementary.shape[0]
+
+    @property
+    def dims(self) -> int:
+        return self.elementary.shape[1]
+
+    def node(self, h: int) -> Node:
+        """Materialize node *h* back into an object (for reports/round-trips)."""
+        return Node(VectorPair(self.elementary[h], self.aggregate[h]),
+                    name=self.names[h])

@@ -1,0 +1,79 @@
+"""Priority-weighted yield objective (extension).
+
+The paper optimizes the plain minimum yield; its §6 scheduler already
+supports administrator-assigned weights at the runtime-sharing level.
+This module lifts weights to the *placement* objective: maximize
+``min_j y_j / w_j`` with per-service priorities ``w_j ∈ (0, 1]``, i.e.
+"a service with priority 0.5 is satisfied at half the performance of a
+priority-1.0 service".
+
+The reduction is exact and reuses every algorithm unchanged: scaling
+service *j*'s needs by ``w_j`` makes the standard uniform yield ``z``
+correspond to true yield ``y_j = z·w_j`` (allocations
+``r + z·(w n) = r + (z w)·n``).  Since the standard search caps ``z`` at
+1, priorities double as performance ceilings: a priority-0.5 service
+tops out at 50% of its peak needs, which is exactly the semantics of
+"pricing structures may impose maximum virtual machine allocations"
+from §2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .allocation import Allocation
+from .exceptions import InvalidServiceError
+from .instance import ProblemInstance
+from .service import ServiceArray
+
+__all__ = ["apply_priorities", "weighted_yields", "weighted_minimum_yield"]
+
+
+def _check_weights(weights: np.ndarray, count: int) -> np.ndarray:
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (count,):
+        raise InvalidServiceError(
+            f"need one weight per service: got {weights.shape}, "
+            f"expected ({count},)")
+    if (weights <= 0).any() or (weights > 1.0 + 1e-12).any():
+        raise InvalidServiceError("priorities must lie in (0, 1]")
+    return weights
+
+
+def apply_priorities(instance: ProblemInstance,
+                     weights: Sequence[float]) -> ProblemInstance:
+    """Instance whose standard min-yield optimum solves the weighted one.
+
+    Needs (elementary and aggregate) of service *j* are scaled by
+    ``w_j``; requirements are untouched (the minimum acceptable level is
+    priority-independent).
+    """
+    sv = instance.services
+    weights = _check_weights(np.asarray(weights), len(sv))
+    scaled = ServiceArray.from_arrays(
+        sv.req_elem, sv.req_agg,
+        sv.need_elem * weights[:, None],
+        sv.need_agg * weights[:, None],
+        names=sv.names)
+    return instance.replace_services(scaled)
+
+
+def weighted_yields(allocation: Allocation,
+                    weights: Sequence[float]) -> np.ndarray:
+    """Map an allocation on the *scaled* instance back to true yields.
+
+    ``allocation.yields`` are the standard yields ``z_j`` of the scaled
+    instance; the true yield of service *j* is ``z_j · w_j``.
+    """
+    weights = _check_weights(np.asarray(weights),
+                             allocation.yields.shape[0])
+    return allocation.yields * weights
+
+
+def weighted_minimum_yield(allocation: Allocation,
+                           weights: Sequence[float]) -> float:
+    """The weighted objective ``min_j y_j / w_j`` (== min scaled yield)."""
+    _check_weights(np.asarray(weights), allocation.yields.shape[0])
+    return allocation.minimum_yield()

@@ -1,0 +1,165 @@
+"""Service (virtual machine workload) model.
+
+A service *j* is described by two ordered vector pairs (§2):
+
+* requirements ``(r^e_j, r^a_j)`` — the allocation needed to run at the
+  minimum acceptable service level; allocation fails if unmet;
+* needs ``(n^e_j, n^a_j)`` — the *additional* allocation needed to reach
+  maximum performance (yield 1.0) relative to the reference machine.
+
+The allocation granted at yield ``y`` is ``(r^e + y n^e, r^a + y n^a)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import InvalidServiceError
+from .resources import VectorPair, as_vector, check_same_dimensions
+
+__all__ = ["Service", "ServiceArray"]
+
+
+@dataclass(frozen=True)
+class Service:
+    """A hosted service with rigid requirements and fluid needs."""
+
+    requirements: VectorPair
+    needs: VectorPair
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.requirements.dims != self.needs.dims:
+            raise InvalidServiceError(
+                f"requirements have {self.requirements.dims} dims, "
+                f"needs have {self.needs.dims}")
+
+    @classmethod
+    def from_vectors(cls,
+                     req_elementary: Sequence[float],
+                     req_aggregate: Sequence[float],
+                     need_elementary: Sequence[float],
+                     need_aggregate: Sequence[float],
+                     name: str = "") -> "Service":
+        req = VectorPair(as_vector(req_elementary), as_vector(req_aggregate),
+                         require_dominance=False)
+        need = VectorPair(as_vector(need_elementary), as_vector(need_aggregate),
+                          require_dominance=False)
+        return cls(req, need, name=name)
+
+    @property
+    def dims(self) -> int:
+        return self.requirements.dims
+
+    def allocation_at_yield(self, y: float) -> VectorPair:
+        """Resource allocation ``(r^e + y n^e, r^a + y n^a)`` for yield *y*."""
+        if not 0.0 <= y <= 1.0 + 1e-12:
+            raise InvalidServiceError(f"yield must lie in [0, 1], got {y}")
+        return VectorPair(
+            self.requirements.elementary + y * self.needs.elementary,
+            self.requirements.aggregate + y * self.needs.aggregate,
+            require_dominance=False,
+        )
+
+
+class ServiceArray:
+    """Column-oriented view of a service collection.
+
+    Exposes four read-only ``(J, D)`` arrays: ``req_elem``, ``req_agg``,
+    ``need_elem``, ``need_agg``.  The vector-packing and LP layers work
+    exclusively on these arrays; ``Service`` objects are the user-facing
+    construction API.
+    """
+
+    __slots__ = ("req_elem", "req_agg", "need_elem", "need_agg", "names")
+
+    def __init__(self, services: Iterable[Service]):
+        services = list(services)
+        if not services:
+            raise InvalidServiceError("ServiceArray requires at least one service")
+        dims = services[0].dims
+        for s in services:
+            if s.dims != dims:
+                raise InvalidServiceError(
+                    f"all services must share dimension count {dims}, got {s.dims}")
+        self.req_elem = np.ascontiguousarray(
+            np.stack([s.requirements.elementary for s in services]))
+        self.req_agg = np.ascontiguousarray(
+            np.stack([s.requirements.aggregate for s in services]))
+        self.need_elem = np.ascontiguousarray(
+            np.stack([s.needs.elementary for s in services]))
+        self.need_agg = np.ascontiguousarray(
+            np.stack([s.needs.aggregate for s in services]))
+        for arr in (self.req_elem, self.req_agg, self.need_elem, self.need_agg):
+            arr.setflags(write=False)
+        self.names = tuple(s.name for s in services)
+
+    @classmethod
+    def from_arrays(cls, req_elem: np.ndarray, req_agg: np.ndarray,
+                    need_elem: np.ndarray, need_agg: np.ndarray,
+                    names: Sequence[str] | None = None) -> "ServiceArray":
+        """Build directly from ``(J, D)`` arrays without per-service objects.
+
+        Used by the workload generators, which produce thousands of services
+        at a time; going through ``Service`` objects would dominate
+        generation cost.
+        """
+        obj = cls.__new__(cls)
+        arrays = []
+        shape = None
+        for name, a in (("req_elem", req_elem), ("req_agg", req_agg),
+                        ("need_elem", need_elem), ("need_agg", need_agg)):
+            a = np.ascontiguousarray(np.asarray(a, dtype=np.float64))
+            if a.ndim != 2:
+                raise InvalidServiceError(f"{name} must be 2-D, got shape {a.shape}")
+            if shape is None:
+                shape = a.shape
+            elif a.shape != shape:
+                raise InvalidServiceError(
+                    f"{name} shape {a.shape} differs from {shape}")
+            if not np.isfinite(a).all() or (a < 0).any():
+                raise InvalidServiceError(f"{name} has negative or non-finite entries")
+            a = a.copy()
+            a.setflags(write=False)
+            arrays.append(a)
+        obj.req_elem, obj.req_agg, obj.need_elem, obj.need_agg = arrays
+        if names is None:
+            obj.names = tuple(f"service-{j}" for j in range(shape[0]))
+        else:
+            names = tuple(names)
+            if len(names) != shape[0]:
+                raise InvalidServiceError(
+                    f"{len(names)} names for {shape[0]} services")
+            obj.names = names
+        return obj
+
+    def __len__(self) -> int:
+        return self.req_elem.shape[0]
+
+    @property
+    def dims(self) -> int:
+        return self.req_elem.shape[1]
+
+    def service(self, j: int) -> Service:
+        """Materialize service *j* back into an object."""
+        return Service(
+            VectorPair(self.req_elem[j], self.req_agg[j], require_dominance=False),
+            VectorPair(self.need_elem[j], self.need_agg[j], require_dominance=False),
+            name=self.names[j],
+        )
+
+    def allocation_at_yield(self, yields: np.ndarray | float) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(elementary, aggregate)`` allocations for given yields.
+
+        *yields* is a scalar (uniform yield, as in the binary-search driver)
+        or a length-J array.  Returns two ``(J, D)`` arrays.
+        """
+        y = np.asarray(yields, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[:, None]
+        elem = self.req_elem + y * self.need_elem
+        agg = self.req_agg + y * self.need_agg
+        return elem, agg

@@ -1,0 +1,14 @@
+"""Dynamic hosting-platform simulation (the paper's future-work scenario):
+arrivals/departures, periodic re-allocation, migrations, runtime sharing."""
+
+from .events import ServiceEvent, WorkloadTrace, generate_trace
+from .simulator import DynamicSimulator, SimulationResult, StepRecord
+
+__all__ = [
+    "DynamicSimulator",
+    "ServiceEvent",
+    "SimulationResult",
+    "StepRecord",
+    "WorkloadTrace",
+    "generate_trace",
+]

@@ -1,0 +1,106 @@
+"""Workload event streams for the dynamic hosting simulation.
+
+The paper's conclusion sketches the next step: deploy METAHVPLIGHT plus
+the §6 error mitigation "as part of the resource management component of
+an open cloud computing infrastructure" and evaluate it against live
+workloads.  This package builds that evaluation substrate as a
+discrete-time simulation: services arrive, run for a while (with true
+CPU needs the scheduler never sees exactly), and depart; the platform
+re-allocates periodically.
+
+This module generates the event streams: Poisson-ish arrivals with
+geometric lifetimes, service descriptors drawn from the same
+Google-trace-like model as the static experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.service import ServiceArray
+from ..util.rng import as_generator
+from ..workloads.google_model import DEFAULT_MODEL, GoogleWorkloadModel
+
+__all__ = ["ServiceEvent", "WorkloadTrace", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One service's lifecycle: arrives at ``arrival``, departs at
+    ``departure`` (exclusive).  ``descriptor_index`` points into the
+    trace's service array."""
+
+    arrival: int
+    departure: int
+    descriptor_index: int
+
+    def active_at(self, t: int) -> bool:
+        return self.arrival <= t < self.departure
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A complete dynamic workload: descriptors plus lifecycle events."""
+
+    services: ServiceArray
+    events: tuple[ServiceEvent, ...]
+    horizon: int
+
+    def active_indices(self, t: int) -> np.ndarray:
+        """Descriptor indices of services active at time *t*."""
+        return np.array([e.descriptor_index for e in self.events
+                         if e.active_at(t)], dtype=np.int64)
+
+    def arrivals_at(self, t: int) -> int:
+        return sum(1 for e in self.events if e.arrival == t)
+
+    def departures_at(self, t: int) -> int:
+        return sum(1 for e in self.events if e.departure == t)
+
+
+def generate_trace(horizon: int,
+                   mean_arrivals_per_step: float,
+                   mean_lifetime_steps: float,
+                   model: GoogleWorkloadModel = DEFAULT_MODEL,
+                   rng: np.random.Generator | int | None = None,
+                   initial_services: int = 0) -> WorkloadTrace:
+    """Generate a dynamic workload trace.
+
+    Parameters
+    ----------
+    horizon:
+        Number of simulation steps.
+    mean_arrivals_per_step:
+        Poisson arrival rate.
+    mean_lifetime_steps:
+        Geometric mean lifetime; departures beyond the horizon are
+        clamped to it (services still running at the end).
+    initial_services:
+        Services already present at t = 0.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be positive")
+    if mean_lifetime_steps <= 0:
+        raise ValueError("mean lifetime must be positive")
+    rng = as_generator(rng)
+    events: list[ServiceEvent] = []
+    arrivals: list[int] = [0] * initial_services
+    for t in range(horizon):
+        arrivals.extend([t] * int(rng.poisson(mean_arrivals_per_step)))
+    count = len(arrivals)
+    if count == 0:
+        raise ValueError("trace generated no services; raise the rates")
+    # Geometric lifetimes with the requested mean (p = 1/mean).
+    lifetimes = rng.geometric(min(1.0, 1.0 / mean_lifetime_steps), size=count)
+    services = model.generate_services(count, rng=rng)
+    for i, (t0, life) in enumerate(zip(arrivals, lifetimes)):
+        events.append(ServiceEvent(
+            arrival=t0,
+            departure=min(horizon, t0 + int(life)),
+            descriptor_index=i,
+        ))
+    return WorkloadTrace(services=services, events=tuple(events),
+                         horizon=horizon)

@@ -1,0 +1,239 @@
+"""Discrete-time simulation of a dynamically-managed hosting platform.
+
+Implements the deployment scenario from the paper's conclusion: the
+resource manager runs METAHVPLIGHT (or any registered placement
+algorithm) on *estimated* CPU needs, optionally hardened with the §6
+minimum-threshold mitigation, while services arrive and depart.  Between
+full re-allocation epochs, new arrivals are slotted in with a cheap
+best-fit so running services are not disturbed; at each epoch the whole
+active set is re-packed and the services that moved count as migrations.
+
+Every step, the runtime layer shares each node's CPU with a §6 policy
+and the simulator records the yields actually achieved against the true
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..algorithms.base import NamedAlgorithm
+from ..core.instance import ProblemInstance
+from ..core.node import NodeArray
+from ..core.service import ServiceArray
+from ..sharing.adaptive import AdaptiveThreshold
+from ..sharing.baseline import evaluate_actual_yields
+from ..sharing.errors import apply_minimum_threshold, perturb_cpu_needs
+from ..util.rng import as_generator
+from .events import WorkloadTrace
+
+__all__ = ["DynamicSimulator", "SimulationResult", "StepRecord"]
+
+CPU = 0
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Metrics for one simulation step."""
+
+    time: int
+    active: int
+    placed: int
+    pending: int
+    migrations: int
+    min_yield: float
+    mean_yield: float
+
+
+@dataclass
+class SimulationResult:
+    steps: list[StepRecord] = field(default_factory=list)
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(s.migrations for s in self.steps)
+
+    @property
+    def average_min_yield(self) -> float:
+        vals = [s.min_yield for s in self.steps if s.placed > 0]
+        return float(np.mean(vals)) if vals else 0.0
+
+    @property
+    def average_pending(self) -> float:
+        return float(np.mean([s.pending for s in self.steps]))
+
+    def as_rows(self) -> list[tuple]:
+        return [(s.time, s.active, s.placed, s.pending, s.migrations,
+                 round(s.min_yield, 4), round(s.mean_yield, 4))
+                for s in self.steps]
+
+
+class DynamicSimulator:
+    """Drives one trace over one platform.
+
+    Parameters
+    ----------
+    nodes:
+        The physical platform.
+    trace:
+        Workload events (see :mod:`repro.dynamic.events`).
+    placer:
+        Full re-allocation algorithm, used every ``reallocation_period``
+        steps.
+    policy:
+        Runtime CPU-sharing policy name (``"ALLOCWEIGHTS"`` etc.).
+    cpu_need_scale:
+        Core-units → capacity-units conversion for the trace's CPU needs
+        (the static experiments normalize against total capacity instead;
+        a dynamic platform cannot, as its load varies).
+    max_error / threshold:
+        §6 estimation-error half-width and mitigation threshold applied to
+        the CPU needs the placer sees.
+    adaptive:
+        Optional :class:`AdaptiveThreshold` controller; when given it
+        overrides the static ``threshold``, re-thresholding the estimates
+        at every re-allocation epoch and learning from the gap between the
+        promised and realized minimum yield.
+    """
+
+    def __init__(self,
+                 nodes: NodeArray,
+                 trace: WorkloadTrace,
+                 placer: NamedAlgorithm,
+                 policy: str = "ALLOCWEIGHTS",
+                 reallocation_period: int = 5,
+                 cpu_need_scale: float = 0.08,
+                 max_error: float = 0.0,
+                 threshold: float = 0.0,
+                 adaptive: AdaptiveThreshold | None = None,
+                 rng: np.random.Generator | int | None = None):
+        if reallocation_period < 1:
+            raise ValueError("reallocation period must be >= 1")
+        self.nodes = nodes
+        self.trace = trace
+        self.placer = placer
+        self.policy = policy
+        self.period = reallocation_period
+        self.max_error = max_error
+        self.threshold = threshold
+        self.adaptive = adaptive
+        self.rng = as_generator(rng)
+        self._true = self._scaled_services(trace.services, cpu_need_scale)
+        # Estimates are drawn once per service (the manager's belief).
+        self._noisy = (perturb_cpu_needs(self._true, max_error, rng=self.rng)
+                       if max_error > 0 else self._true)
+        initial = adaptive.value if adaptive is not None else threshold
+        self._estimates = apply_minimum_threshold(self._noisy, initial)
+        # descriptor index -> node, for currently placed services.
+        self._placement: dict[int, int] = {}
+
+    @staticmethod
+    def _scaled_services(services: ServiceArray, scale: float) -> ServiceArray:
+        need_elem = services.need_elem.copy()
+        need_agg = services.need_agg.copy()
+        need_elem[:, CPU] *= scale
+        need_agg[:, CPU] *= scale
+        return ServiceArray.from_arrays(
+            services.req_elem, services.req_agg, need_elem, need_agg,
+            names=services.names)
+
+    # ------------------------------------------------------------------
+    def _subset(self, services: ServiceArray, ids: np.ndarray) -> ServiceArray:
+        return ServiceArray.from_arrays(
+            services.req_elem[ids], services.req_agg[ids],
+            services.need_elem[ids], services.need_agg[ids],
+            names=[services.names[i] for i in ids])
+
+    def _full_reallocation(self, active: np.ndarray
+                           ) -> tuple[dict[int, int], float | None]:
+        """Re-pack the whole active set; returns (placement, promised
+        minimum yield under the estimates, or None on failure)."""
+        if self.adaptive is not None:
+            self._estimates = apply_minimum_threshold(
+                self._noisy, self.adaptive.value)
+        est_instance = ProblemInstance(
+            self.nodes, self._subset(self._estimates, active))
+        alloc = self.placer(est_instance)
+        if alloc is None:
+            return {}, None
+        placement = {int(sid): int(h)
+                     for sid, h in zip(active, alloc.placement)}
+        return placement, alloc.minimum_yield()
+
+    def _incremental_placement(self, active: np.ndarray) -> dict[int, int]:
+        """Keep current placements; best-fit the newcomers one by one."""
+        placement = {sid: h for sid, h in self._placement.items()
+                     if sid in set(active.tolist())}
+        est = self._estimates
+        loads = np.zeros_like(self.nodes.aggregate)
+        for sid, h in placement.items():
+            loads[h] += est.req_agg[sid]
+        for sid in active:
+            sid = int(sid)
+            if sid in placement:
+                continue
+            fits = ((est.req_elem[sid] <= self.nodes.elementary + 1e-12)
+                    .all(axis=1)
+                    & (loads + est.req_agg[sid]
+                       <= self.nodes.aggregate + 1e-12).all(axis=1))
+            cands = np.flatnonzero(fits)
+            if cands.size == 0:
+                continue  # stays pending this step
+            remaining = (self.nodes.aggregate[cands]
+                         - loads[cands]).sum(axis=1)
+            h = int(cands[np.argmin(remaining)])  # best fit
+            placement[sid] = h
+            loads[h] += est.req_agg[sid]
+        return placement
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        result = SimulationResult()
+        for t in range(self.trace.horizon):
+            active = self.trace.active_indices(t)
+            if active.size == 0:
+                self._placement = {}
+                result.steps.append(StepRecord(t, 0, 0, 0, 0, 1.0, 1.0))
+                continue
+
+            promised: float | None = None
+            if t % self.period == 0:
+                new_placement, promised = self._full_reallocation(active)
+                if not new_placement:
+                    # Full re-pack failed (e.g. transient overload); fall
+                    # back to incremental so running services survive.
+                    new_placement = self._incremental_placement(active)
+            else:
+                new_placement = self._incremental_placement(active)
+
+            migrations = sum(
+                1 for sid, h in new_placement.items()
+                if sid in self._placement and self._placement[sid] != h)
+            self._placement = new_placement
+
+            placed_ids = np.array(sorted(new_placement), dtype=np.int64)
+            pending = active.size - placed_ids.size
+            if placed_ids.size:
+                true_instance = ProblemInstance(
+                    self.nodes, self._subset(self._true, placed_ids))
+                est_instance = ProblemInstance(
+                    self.nodes, self._subset(self._estimates, placed_ids))
+                placement_arr = np.array(
+                    [new_placement[int(s)] for s in placed_ids],
+                    dtype=np.int64)
+                yields = evaluate_actual_yields(
+                    true_instance, placement_arr, self.policy,
+                    estimated_instance=est_instance)
+                min_y, mean_y = float(yields.min()), float(yields.mean())
+            else:
+                min_y = mean_y = 0.0
+            if self.adaptive is not None and promised is not None:
+                self.adaptive.observe(promised, min_y)
+            result.steps.append(StepRecord(
+                time=t, active=int(active.size), placed=int(placed_ids.size),
+                pending=int(pending), migrations=migrations,
+                min_yield=min_y, mean_yield=mean_y))
+        return result

@@ -1,0 +1,88 @@
+"""Experiment drivers that regenerate every table and figure (§5-6)."""
+
+from .analysis import (
+    MeanCI,
+    bootstrap_mean_ci,
+    paired_difference_ci,
+    win_loss_tie,
+)
+from .ascii_plot import line_chart, sparkline
+from .config import PAPER_GRID, QUICK_GRID, SMOKE_GRID, GridSpec
+from .figures_cov import (
+    CovFigureData,
+    CovFigureSpec,
+    format_cov_figure,
+    run_cov_figure,
+)
+from .figures_error import (
+    ErrorFigureData,
+    ErrorFigureSpec,
+    format_error_figure,
+    run_error_figure,
+)
+from .metrics import (
+    PairwiseComparison,
+    average_yield,
+    pairwise_comparison,
+    success_rate,
+)
+from .persistence import (
+    append_results,
+    load_results,
+    merge_results,
+    save_results,
+)
+from .report import format_matrix, format_table, write_csv
+from .runner import (
+    ALGORITHM_FACTORIES,
+    AlgorithmResult,
+    TaskResult,
+    make_algorithms,
+    run_grid,
+)
+from .table1 import Table1Data, format_table1, run_table1
+from .table2 import Table2Data, format_table2, run_table2, table2_from_results
+
+__all__ = [
+    "ALGORITHM_FACTORIES",
+    "AlgorithmResult",
+    "CovFigureData",
+    "CovFigureSpec",
+    "ErrorFigureData",
+    "ErrorFigureSpec",
+    "GridSpec",
+    "MeanCI",
+    "PAPER_GRID",
+    "PairwiseComparison",
+    "QUICK_GRID",
+    "SMOKE_GRID",
+    "Table1Data",
+    "Table2Data",
+    "TaskResult",
+    "append_results",
+    "average_yield",
+    "bootstrap_mean_ci",
+    "format_cov_figure",
+    "format_error_figure",
+    "format_matrix",
+    "format_table",
+    "format_table1",
+    "format_table2",
+    "line_chart",
+    "load_results",
+    "make_algorithms",
+    "merge_results",
+    "paired_difference_ci",
+    "pairwise_comparison",
+    "run_cov_figure",
+    "run_error_figure",
+    "run_grid",
+    "run_table1",
+    "run_table2",
+    "save_results",
+    "sparkline",
+    "success_rate",
+    "table2_from_results",
+    "win_loss_tie",
+    "write_csv",
+]

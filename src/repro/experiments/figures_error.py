@@ -1,0 +1,180 @@
+"""The error figure family: Figures 5-7 and 35-66 (§6.2).
+
+Each figure fixes (hosts, services, slack, CoV) and sweeps the maximum
+CPU-need estimation error.  Eight series are reported, each averaged over
+the instances where placement succeeded:
+
+* ``ideal`` — the placer with perfect knowledge (error-independent);
+* ``zero-knowledge`` — even spreading + EQUALWEIGHTS, no estimates at all;
+* ``weight, min=t`` / ``equal, min=t`` for thresholds t ∈ {0, 0.1, 0.3} —
+  the placer runs on *perturbed* estimates rounded up to threshold ``t``,
+  then the node CPU is shared by ALLOCWEIGHTS (resp. EQUALWEIGHTS) and
+  actual yields are measured against the true needs.
+
+The optional ``caps`` series (ALLOCCAPS) reproduces §6.2's observation
+that hard caps collapse once the error reaches ≈30% of the mean need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.base import NamedAlgorithm
+from ..sharing import (
+    apply_minimum_threshold,
+    evaluate_actual_yields,
+    perturb_cpu_needs,
+    zero_knowledge_placement,
+)
+from ..util.parallel import parallel_map
+from ..util.rng import derive_seed
+from ..workloads import ScenarioConfig, generate_instance
+from .report import format_table, write_csv
+from .runner import ALGORITHM_FACTORIES
+
+__all__ = ["ErrorFigureSpec", "ErrorFigureData", "run_error_figure",
+           "format_error_figure"]
+
+DEFAULT_ERRORS = tuple(round(0.02 * i, 6) for i in range(16))  # 0 .. 0.30
+DEFAULT_THRESHOLDS = (0.0, 0.1, 0.3)
+
+
+@dataclass(frozen=True)
+class ErrorFigureSpec:
+    """One error-impact figure (headline: Figures 5-7 use slack 0.4,
+    CoV 0.5 with 100/250/500 services)."""
+
+    hosts: int = 64
+    services: int = 100
+    slack: float = 0.4
+    cov: float = 0.5
+    error_values: tuple[float, ...] = DEFAULT_ERRORS
+    thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS
+    instances: int = 10
+    placer: str = "METAHVP"
+    include_caps: bool = False
+    seed: int = 2012
+
+    def base_config(self, idx: int) -> ScenarioConfig:
+        return ScenarioConfig(hosts=self.hosts, services=self.services,
+                              cov=self.cov, slack=self.slack,
+                              seed=self.seed, instance_index=idx)
+
+
+@dataclass(frozen=True)
+class ErrorFigureData:
+    spec: ErrorFigureSpec
+    # series name -> {error value: average min actual yield}; instances
+    # where placement failed are excluded from the average.
+    series: Mapping[str, Mapping[float, float]]
+    solved_instances: int
+
+    def to_csv(self, path: str) -> None:
+        rows = []
+        for name, curve in self.series.items():
+            for err, val in sorted(curve.items()):
+                rows.append((name, err, val))
+        write_csv(path, ("series", "max_error", "avg_min_yield"), rows)
+
+
+@dataclass(frozen=True)
+class _InstanceTask:
+    spec: ErrorFigureSpec
+    index: int
+
+
+def _min_actual_yield(instance_true, placement, policy,
+                      estimated_instance) -> float:
+    yields = evaluate_actual_yields(
+        instance_true, placement, policy,
+        estimated_instance=estimated_instance)
+    return float(yields.min())
+
+
+def _run_instance(task: _InstanceTask) -> Optional[dict[str, dict[float, float]]]:
+    """All series values for one base instance, or None if the
+    perfect-knowledge placement already fails (instance dropped)."""
+    spec = task.spec
+    placer: NamedAlgorithm = ALGORITHM_FACTORIES[spec.placer]()
+    instance = generate_instance(spec.base_config(task.index))
+
+    ideal_alloc = placer(instance)
+    if ideal_alloc is None:
+        return None
+    out: dict[str, dict[float, float]] = {}
+
+    # Error-independent series (constant lines in the figures).
+    ideal = ideal_alloc.minimum_yield()
+    zk_placement = zero_knowledge_placement(instance)
+    zk = (None if zk_placement is None else
+          _min_actual_yield(instance, zk_placement, "EQUALWEIGHTS", None))
+    for err in spec.error_values:
+        out.setdefault("ideal", {})[err] = ideal
+        if zk is not None:
+            out.setdefault("zero-knowledge", {})[err] = zk
+
+    for e_idx, err in enumerate(spec.error_values):
+        rng = np.random.default_rng(
+            derive_seed(spec.seed, task.index, 1000 + e_idx))
+        noisy = perturb_cpu_needs(instance.services, err, rng=rng)
+        for threshold in spec.thresholds:
+            estimates = apply_minimum_threshold(noisy, threshold)
+            est_instance = instance.replace_services(estimates)
+            alloc = placer(est_instance)
+            if alloc is None:
+                continue
+            placement = alloc.placement
+            label = f"min={threshold:.2f}"
+            out.setdefault(f"weight, {label}", {})[err] = _min_actual_yield(
+                instance, placement, "ALLOCWEIGHTS", est_instance)
+            out.setdefault(f"equal, {label}", {})[err] = _min_actual_yield(
+                instance, placement, "EQUALWEIGHTS", est_instance)
+            if spec.include_caps:
+                out.setdefault(f"caps, {label}", {})[err] = _min_actual_yield(
+                    instance, placement, "ALLOCCAPS", est_instance)
+    return out
+
+
+def run_error_figure(spec: ErrorFigureSpec,
+                     workers: int | None = None) -> ErrorFigureData:
+    tasks = [_InstanceTask(spec, i) for i in range(spec.instances)]
+    per_instance = [r for r in parallel_map(_run_instance, tasks,
+                                            workers=workers)
+                    if r is not None]
+    # Average each series point over the instances that produced it.
+    acc: dict[str, dict[float, list[float]]] = {}
+    for result in per_instance:
+        for name, curve in result.items():
+            for err, val in curve.items():
+                acc.setdefault(name, {}).setdefault(err, []).append(val)
+    series = {
+        name: {err: float(np.mean(vals)) for err, vals in sorted(curve.items())}
+        for name, curve in acc.items()
+    }
+    return ErrorFigureData(spec, series, solved_instances=len(per_instance))
+
+
+def format_error_figure(data: ErrorFigureData, chart: bool = True) -> str:
+    spec = data.spec
+    title = (f"Min actual yield vs max error — {spec.hosts} hosts, "
+             f"{spec.services} services, slack {spec.slack}, "
+             f"cov {spec.cov} ({data.solved_instances} instances)")
+    names = sorted(data.series)
+    errors = sorted({e for curve in data.series.values() for e in curve})
+    headers = ["max_error"] + names
+    rows = []
+    for err in errors:
+        row: list[object] = [f"{err:.2f}"]
+        for name in names:
+            v = data.series[name].get(err)
+            row.append("-" if v is None else f"{v:.4f}")
+        rows.append(row)
+    text = format_table(headers, rows, title=title)
+    if chart and data.series:
+        from .ascii_plot import line_chart
+        text += "\n\n" + line_chart(data.series, x_label="max error",
+                                    title="(same data, charted)")
+    return text

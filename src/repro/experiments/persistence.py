@@ -1,0 +1,107 @@
+"""Persistence of grid results.
+
+The full paper grid is expensive; persisting per-instance results as
+JSON-lines lets long runs be split across sessions/machines and merged
+afterwards.  Each line is self-describing: the scenario coordinates plus
+every algorithm's outcome, so files from different grids can be safely
+concatenated and re-filtered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Iterator, Sequence
+
+from ..workloads import ScenarioConfig
+from .runner import AlgorithmResult, TaskResult
+
+__all__ = ["save_results", "load_results", "append_results", "merge_results"]
+
+FORMAT_VERSION = 1
+
+
+def _task_to_dict(task: TaskResult) -> dict:
+    cfg = task.config
+    return {
+        "v": FORMAT_VERSION,
+        "config": {
+            "hosts": cfg.hosts,
+            "services": cfg.services,
+            "cov": cfg.cov,
+            "slack": cfg.slack,
+            "cpu_homogeneous": cfg.cpu_homogeneous,
+            "mem_homogeneous": cfg.mem_homogeneous,
+            "seed": cfg.seed,
+            "instance_index": cfg.instance_index,
+        },
+        "results": [
+            {"algorithm": r.algorithm, "min_yield": r.min_yield,
+             "seconds": r.seconds}
+            for r in task.results
+        ],
+    }
+
+
+def _task_from_dict(data: dict) -> TaskResult:
+    if data.get("v") != FORMAT_VERSION:
+        raise ValueError(f"unsupported results format version: {data.get('v')!r}")
+    cfg = ScenarioConfig(**data["config"])
+    results = tuple(
+        AlgorithmResult(r["algorithm"], r["min_yield"], r["seconds"])
+        for r in data["results"]
+    )
+    return TaskResult(cfg, results)
+
+
+def save_results(results: Sequence[TaskResult], path: str) -> None:
+    """Write results as JSON-lines (overwrites *path*)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        for task in results:
+            fh.write(json.dumps(_task_to_dict(task)) + "\n")
+
+
+def append_results(results: Sequence[TaskResult], path: str) -> None:
+    """Append results to an existing JSON-lines file (or create it)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as fh:
+        for task in results:
+            fh.write(json.dumps(_task_to_dict(task)) + "\n")
+
+
+def load_results(path: str) -> list[TaskResult]:
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(_task_from_dict(json.loads(line)))
+    return out
+
+
+def merge_results(result_sets: Iterable[Sequence[TaskResult]]
+                  ) -> list[TaskResult]:
+    """Concatenate result sets, dropping duplicate scenario coordinates.
+
+    The *first* occurrence of each (config) wins, so callers can layer a
+    re-run on top of an older file and keep the fresh values by passing
+    the re-run first.
+    """
+    seen: set = set()
+    merged: list[TaskResult] = []
+    for results in result_sets:
+        for task in results:
+            key = (task.config.hosts, task.config.services, task.config.cov,
+                   task.config.slack, task.config.cpu_homogeneous,
+                   task.config.mem_homogeneous, task.config.seed,
+                   task.config.instance_index)
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(task)
+    return merged

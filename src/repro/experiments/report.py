@@ -1,0 +1,65 @@
+"""Plain-text and CSV rendering of experiment outputs.
+
+The paper reports tables and gnuplot figures; this harness prints aligned
+text tables with the same rows/series and writes CSV files next to them so
+any plotting tool can regenerate the graphics.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_matrix", "write_csv", "ensure_dir"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Monospace table with per-column alignment."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_matrix(row_names: Sequence[str], col_names: Sequence[str],
+                  cells: Mapping[tuple[str, str], str],
+                  corner: str = "A/B", title: str = "") -> str:
+    """Paper-style pairwise matrix (rows = A, columns = B)."""
+    headers = [corner, *col_names]
+    rows = []
+    for a in row_names:
+        rows.append([a] + [cells.get((a, b), "") for b in col_names])
+    return format_table(headers, rows, title=title)
+
+
+def write_csv(path: str, headers: Sequence[str],
+              rows: Iterable[Sequence[object]]) -> None:
+    ensure_dir(os.path.dirname(path))
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def ensure_dir(path: str) -> None:
+    if path:
+        os.makedirs(path, exist_ok=True)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,143 @@
+"""The §5.1 strategy-ranking exploration that motivated METAHVPLIGHT.
+
+The paper sorted the 253 basic HVP strategies "first by success rate,
+then by average achieved minimum yield", inspected the top 50 per
+dataset, and observed that (1) all three packers appear when paired with
+the right sorts, (2) descending MAX / SUM / MAXDIFFERENCE (and sometimes
+MAXRATIO) dominate the item sorts, and (3) ascending LEX / MAX / SUM plus
+a few descending bin sorts and NONE dominate the bin sorts — those
+observations define the 60-strategy LIGHT subset.
+
+This module reruns that exploration on any grid so the LIGHT design can
+be audited (and re-derived for new workload families).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..algorithms.vector_packing import (
+    VPStrategy,
+    hvp_light_strategies,
+    hvp_strategies,
+)
+from ..algorithms.vector_packing.meta import single_strategy_algorithm
+from ..util.parallel import parallel_map
+from ..workloads import ScenarioConfig, generate_instance
+from .report import format_table
+
+__all__ = ["StrategyRanking", "rank_strategies", "format_ranking",
+           "light_set_audit"]
+
+
+@dataclass(frozen=True)
+class StrategyStats:
+    strategy: VPStrategy
+    successes: int
+    attempts: int
+    average_yield: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.attempts if self.attempts else 0.0
+
+    def sort_key(self) -> tuple[float, float]:
+        """Paper's ordering: success rate first, then average yield."""
+        return (self.success_rate, self.average_yield)
+
+
+@dataclass(frozen=True)
+class StrategyRanking:
+    """All strategies ordered best-first by the §5.1 criterion."""
+
+    stats: tuple[StrategyStats, ...]
+
+    def top(self, n: int = 50) -> tuple[StrategyStats, ...]:
+        return self.stats[:n]
+
+    def packer_counts(self, n: int = 50) -> Mapping[str, int]:
+        return Counter(s.strategy.packer for s in self.top(n))
+
+    def item_sort_counts(self, n: int = 50) -> Mapping[str, int]:
+        return Counter(s.strategy.item_sort.name for s in self.top(n))
+
+    def bin_sort_counts(self, n: int = 50) -> Mapping[str, int]:
+        return Counter(s.strategy.bin_sort.name for s in self.top(n)
+                       if s.strategy.packer != "BF")
+
+
+@dataclass(frozen=True)
+class _StrategyTask:
+    strategy_index: int
+    configs: tuple[ScenarioConfig, ...]
+
+
+def _evaluate_strategy(task: _StrategyTask) -> StrategyStats:
+    strategy = hvp_strategies()[task.strategy_index]
+    algo = single_strategy_algorithm(strategy)
+    yields = []
+    successes = 0
+    for cfg in task.configs:
+        alloc = algo(generate_instance(cfg))
+        if alloc is not None:
+            successes += 1
+            yields.append(alloc.minimum_yield())
+    return StrategyStats(
+        strategy=strategy,
+        successes=successes,
+        attempts=len(task.configs),
+        average_yield=float(np.mean(yields)) if yields else 0.0,
+    )
+
+
+def rank_strategies(configs: Sequence[ScenarioConfig],
+                    workers: int | None = None) -> StrategyRanking:
+    """Evaluate every basic HVP strategy on *configs* and rank them."""
+    configs = tuple(configs)
+    tasks = [_StrategyTask(i, configs) for i in range(len(hvp_strategies()))]
+    stats = parallel_map(_evaluate_strategy, tasks, workers=workers)
+    ordered = tuple(sorted(stats, key=StrategyStats.sort_key, reverse=True))
+    return StrategyRanking(ordered)
+
+
+def light_set_audit(ranking: StrategyRanking, top_n: int = 50
+                    ) -> tuple[int, int]:
+    """How many of the top-N ranked strategies are in the LIGHT set?
+
+    Returns ``(hits, top_n)``.  The paper designed LIGHT from exactly this
+    inspection, so a healthy fraction of the top strategies should be
+    LIGHT members on workloads resembling §4's.
+    """
+    light_names = {s.name for s in hvp_light_strategies()}
+    hits = sum(1 for s in ranking.top(top_n)
+               if s.strategy.name in light_names)
+    return hits, min(top_n, len(ranking.stats))
+
+
+def format_ranking(ranking: StrategyRanking, top_n: int = 20) -> str:
+    rows = []
+    for i, s in enumerate(ranking.top(top_n), start=1):
+        rows.append((i, s.strategy.name, f"{s.success_rate * 100:.0f}%",
+                     f"{s.average_yield:.4f}"))
+    table = format_table(("rank", "strategy", "success", "avg yield"), rows,
+                         title=f"Top {top_n} of {len(ranking.stats)} basic "
+                               f"HVP strategies (§5.1 ordering)")
+    packers = ", ".join(f"{k}: {v}" for k, v in
+                        sorted(ranking.packer_counts(50).items()))
+    items = ", ".join(f"{k}: {v}" for k, v in sorted(
+        ranking.item_sort_counts(50).items(), key=lambda kv: -kv[1]))
+    bins = ", ".join(f"{k}: {v}" for k, v in sorted(
+        ranking.bin_sort_counts(50).items(), key=lambda kv: -kv[1]))
+    hits, n = light_set_audit(ranking)
+    return "\n".join([
+        table,
+        "",
+        f"Top-50 packer mix:    {packers}",
+        f"Top-50 item sorts:    {items}",
+        f"Top-50 bin sorts:     {bins}",
+        f"LIGHT members in top {n}: {hits}",
+    ])

@@ -1,0 +1,99 @@
+"""Table 1: pairwise algorithm comparisons ``(Y_{A,B}, S_{A,B})`` (§5).
+
+For each service count, every ordered algorithm pair is compared on the
+full (CoV × slack × instance) grid: the average percent minimum-yield gain
+on commonly-solved instances, and the success-rate difference in
+percentage points.  The paper's Table 1 covers RRND, RRNZ, METAGREEDY,
+METAVP and METAHVP; §5.1's METAHVP-vs-METAHVPLIGHT numbers come from the
+same machinery with ``--include-light``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..workloads import ScenarioConfig
+from .config import GridSpec
+from .metrics import (
+    PairwiseComparison,
+    average_yield,
+    pairwise_comparison,
+    success_rate,
+)
+from .report import format_matrix, format_table
+from .runner import TaskResult, run_grid
+
+__all__ = ["Table1Data", "run_table1", "format_table1",
+           "DEFAULT_TABLE1_ALGORITHMS"]
+
+DEFAULT_TABLE1_ALGORITHMS = ("RRND", "RRNZ", "METAGREEDY", "METAVP",
+                             "METAHVP")
+
+
+@dataclass(frozen=True)
+class Table1Data:
+    """Pairwise matrices and per-algorithm summaries, per service count."""
+
+    algorithms: tuple[str, ...]
+    matrices: Mapping[int, Mapping[tuple[str, str], PairwiseComparison]]
+    success_rates: Mapping[int, Mapping[str, float]]
+    average_yields: Mapping[int, Mapping[str, float]]
+    instance_counts: Mapping[int, int]
+
+
+def _yields_by_algorithm(results: Sequence[TaskResult],
+                         algorithms: Sequence[str]
+                         ) -> dict[str, list[float | None]]:
+    table: dict[str, list[float | None]] = {a: [] for a in algorithms}
+    for task in results:
+        by_algo = task.by_algorithm()
+        for a in algorithms:
+            table[a].append(by_algo[a].min_yield)
+    return table
+
+
+def run_table1(grid: GridSpec,
+               algorithms: Sequence[str] = DEFAULT_TABLE1_ALGORITHMS,
+               workers: int | None = None) -> Table1Data:
+    """Run the grid and assemble the Table-1 matrices."""
+    algorithms = tuple(algorithms)
+    matrices: dict[int, dict[tuple[str, str], PairwiseComparison]] = {}
+    rates: dict[int, dict[str, float]] = {}
+    avgs: dict[int, dict[str, float]] = {}
+    counts: dict[int, int] = {}
+    for J in grid.services:
+        results = run_grid(grid.configs(services=J), algorithms,
+                           workers=workers)
+        yields = _yields_by_algorithm(results, algorithms)
+        counts[J] = len(results)
+        rates[J] = {a: success_rate(yields[a]) for a in algorithms}
+        avgs[J] = {a: average_yield(yields[a]) for a in algorithms}
+        matrices[J] = {
+            (a, b): pairwise_comparison(yields[a], yields[b])
+            for a in algorithms for b in algorithms if a != b
+        }
+    return Table1Data(algorithms, matrices, rates, avgs, counts)
+
+
+def format_table1(data: Table1Data) -> str:
+    """Render the paper-style matrices plus a summary block."""
+    sections = []
+    for J, matrix in sorted(data.matrices.items()):
+        cells = {
+            (a, b): f"({cmp.yield_gain_pct:+.1f}%, {cmp.success_gain_pct:+.1f}%)"
+            for (a, b), cmp in matrix.items()
+        }
+        sections.append(format_matrix(
+            data.algorithms, data.algorithms, cells,
+            title=f"{J} services — (Y_A,B %, S_A,B pp) over "
+                  f"{data.instance_counts[J]} instances"))
+        summary_rows = [
+            (a,
+             f"{data.success_rates[J][a] * 100:.1f}%",
+             f"{data.average_yields[J][a]:.3f}")
+            for a in data.algorithms
+        ]
+        sections.append(format_table(
+            ("algorithm", "success", "avg min yield"), summary_rows))
+    return "\n\n".join(sections)

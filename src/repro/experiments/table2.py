@@ -1,0 +1,79 @@
+"""Table 2: algorithm run times (§5).
+
+Mean wall-clock seconds per algorithm and service count, averaged over the
+same instance grid as Table 1.  Absolute numbers differ from the paper's
+(Python vs the authors' native implementation on a 2.27 GHz Xeon); the
+reproduced claims are the *relative* ordering — RRNZ ≫ METAHVP > METAVP ≫
+METAGREEDY — the ≈3× METAHVP/METAVP ratio and the ≈10× METAHVPLIGHT
+speed-up of §5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .config import GridSpec
+from .report import format_table
+from .runner import TaskResult, run_grid
+
+__all__ = ["Table2Data", "run_table2", "format_table2",
+           "DEFAULT_TABLE2_ALGORITHMS"]
+
+DEFAULT_TABLE2_ALGORITHMS = ("RRNZ", "METAGREEDY", "METAVP", "METAHVP")
+
+
+@dataclass(frozen=True)
+class Table2Data:
+    algorithms: tuple[str, ...]
+    mean_seconds: Mapping[int, Mapping[str, float]]  # J -> algo -> seconds
+    instance_counts: Mapping[int, int]
+
+
+def run_table2(grid: GridSpec,
+               algorithms: Sequence[str] = DEFAULT_TABLE2_ALGORITHMS,
+               workers: int | None = None) -> Table2Data:
+    algorithms = tuple(algorithms)
+    means: dict[int, dict[str, float]] = {}
+    counts: dict[int, int] = {}
+    for J in grid.services:
+        results = run_grid(grid.configs(services=J), algorithms,
+                           workers=workers)
+        counts[J] = len(results)
+        per_algo: dict[str, list[float]] = {a: [] for a in algorithms}
+        for task in results:
+            for r in task.results:
+                per_algo[r.algorithm].append(r.seconds)
+        means[J] = {a: float(np.mean(v)) for a, v in per_algo.items()}
+    return Table2Data(algorithms, means, counts)
+
+
+def table2_from_results(results_by_j: Mapping[int, Sequence[TaskResult]],
+                        algorithms: Sequence[str]) -> Table2Data:
+    """Build Table 2 from results already collected (e.g. by Table 1)."""
+    algorithms = tuple(algorithms)
+    means: dict[int, dict[str, float]] = {}
+    counts: dict[int, int] = {}
+    for J, results in results_by_j.items():
+        per_algo: dict[str, list[float]] = {a: [] for a in algorithms}
+        for task in results:
+            for r in task.results:
+                if r.algorithm in per_algo:
+                    per_algo[r.algorithm].append(r.seconds)
+        means[J] = {a: float(np.mean(v)) if v else 0.0
+                    for a, v in per_algo.items()}
+        counts[J] = len(results)
+    return Table2Data(algorithms, means, counts)
+
+
+def format_table2(data: Table2Data) -> str:
+    js = sorted(data.mean_seconds)
+    headers = ["Algorithm"] + [f"{j} tasks" for j in js]
+    rows = []
+    for a in data.algorithms:
+        rows.append([a] + [f"{data.mean_seconds[j][a]:.3f}" for j in js])
+    return format_table(
+        headers, rows,
+        title="Mean run time in seconds, averaged over all instances")

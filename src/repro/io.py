@@ -1,0 +1,97 @@
+"""JSON serialization of problem instances and allocations.
+
+Lets users persist generated instances (e.g. the exact scaled instances
+behind a published figure), share them across machines, and replay
+allocations.  The format is versioned and deliberately plain: one JSON
+object with explicit array fields, no pickling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from .core.allocation import Allocation
+from .core.instance import ProblemInstance
+from .core.node import Node, NodeArray
+from .core.resources import VectorPair
+from .core.service import ServiceArray
+
+__all__ = ["instance_to_dict", "instance_from_dict", "save_instance",
+           "load_instance", "allocation_to_dict", "allocation_from_dict"]
+
+FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: ProblemInstance) -> dict[str, Any]:
+    nd, sv = instance.nodes, instance.services
+    return {
+        "format_version": FORMAT_VERSION,
+        "nodes": {
+            "elementary": nd.elementary.tolist(),
+            "aggregate": nd.aggregate.tolist(),
+            "names": list(nd.names),
+        },
+        "services": {
+            "req_elem": sv.req_elem.tolist(),
+            "req_agg": sv.req_agg.tolist(),
+            "need_elem": sv.need_elem.tolist(),
+            "need_agg": sv.need_agg.tolist(),
+            "names": list(sv.names),
+        },
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> ProblemInstance:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported instance format version: {version!r}")
+    ndata = data["nodes"]
+    elem = np.asarray(ndata["elementary"], dtype=np.float64)
+    agg = np.asarray(ndata["aggregate"], dtype=np.float64)
+    names = ndata.get("names") or [f"node-{h}" for h in range(elem.shape[0])]
+    nodes = NodeArray([
+        Node(VectorPair(elem[h], agg[h]), name=names[h])
+        for h in range(elem.shape[0])
+    ])
+    sdata = data["services"]
+    services = ServiceArray.from_arrays(
+        np.asarray(sdata["req_elem"], dtype=np.float64),
+        np.asarray(sdata["req_agg"], dtype=np.float64),
+        np.asarray(sdata["need_elem"], dtype=np.float64),
+        np.asarray(sdata["need_agg"], dtype=np.float64),
+        names=sdata.get("names"),
+    )
+    return ProblemInstance(nodes, services)
+
+
+def save_instance(instance: ProblemInstance, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(instance_to_dict(instance), fh)
+
+
+def load_instance(path: str) -> ProblemInstance:
+    with open(path) as fh:
+        return instance_from_dict(json.load(fh))
+
+
+def allocation_to_dict(allocation: Allocation) -> dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "placement": allocation.placement.tolist(),
+        "yields": allocation.yields.tolist(),
+    }
+
+
+def allocation_from_dict(data: dict[str, Any],
+                         instance: ProblemInstance) -> Allocation:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported allocation format version: {version!r}")
+    return Allocation(
+        instance,
+        np.asarray(data["placement"], dtype=np.int64),
+        np.asarray(data["yields"], dtype=np.float64),
+    )

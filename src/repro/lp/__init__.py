@@ -1,0 +1,15 @@
+"""Exact MILP and rational relaxation of the placement problem (§3.1-3.2)."""
+
+from .formulation import MilpFormulation, build_formulation
+from .relaxation import placement_probabilities, relaxed_upper_bound
+from .solver import LpSolution, solve_exact, solve_relaxation
+
+__all__ = [
+    "LpSolution",
+    "MilpFormulation",
+    "build_formulation",
+    "placement_probabilities",
+    "relaxed_upper_bound",
+    "solve_exact",
+    "solve_relaxation",
+]

@@ -1,0 +1,203 @@
+"""MILP formulation of the placement problem (paper §3.1, Equations 1-7).
+
+Variables (stacked into one vector ``x``)::
+
+    x = [ e_00 .. e_{J-1,H-1} | y_00 .. y_{J-1,H-1} | Y ]
+
+with ``e_jh ∈ {0,1}`` (service *j* placed on node *h*), ``y_jh ∈ [0,1]``
+(yield of *j* on *h*) and ``Y`` the minimum yield.  The constraints are:
+
+* Eq. 3 — ``Σ_h e_jh = 1`` for every service;
+* Eq. 4 — ``y_jh ≤ e_jh``;
+* Eq. 5 — ``e_jh r^e_jd + y_jh n^e_jd ≤ c^e_hd`` (elementary capacities);
+* Eq. 6 — ``Σ_j (e_jh r^a_jd + y_jh n^a_jd) ≤ c^a_hd`` (aggregate capacities);
+* Eq. 7 — ``Σ_h y_jh ≥ Y``.
+
+The objective maximizes ``Y``.
+
+Two standard reductions keep the matrices small without changing the
+feasible set:
+
+* an Eq. 5 row is dropped when it cannot bind (``r^e_jd + n^e_jd ≤ c^e_hd``
+  already holds with ``e = y = 1``);
+* when ``r^e_jd > c^e_hd`` service *j* can never be placed on node *h*;
+  instead of an always-violated row we fix ``e_jh = y_jh = 0`` via variable
+  bounds, which also prunes the branch-and-bound tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint
+
+from ..core.instance import ProblemInstance
+
+__all__ = ["MilpFormulation", "build_formulation"]
+
+
+@dataclass
+class MilpFormulation:
+    """Matrices and metadata for one problem instance.
+
+    ``scipy.optimize.milp`` *minimizes*, so ``objective`` is ``-1`` at the
+    ``Y`` position and ``0`` elsewhere.
+    """
+
+    instance: ProblemInstance
+    objective: np.ndarray
+    constraints: list[LinearConstraint]
+    integrality: np.ndarray
+    bounds: Bounds
+    forbidden: np.ndarray  # (J, H) bool, True where e_jh is fixed to 0
+
+    @property
+    def num_vars(self) -> int:
+        return self.objective.shape[0]
+
+    def e_index(self, j: int, h: int) -> int:
+        return j * self.instance.num_nodes + h
+
+    def y_index(self, j: int, h: int) -> int:
+        J, H = self.instance.num_services, self.instance.num_nodes
+        return J * H + j * H + h
+
+    @property
+    def min_yield_index(self) -> int:
+        J, H = self.instance.num_services, self.instance.num_nodes
+        return 2 * J * H
+
+    def split_solution(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+        """Unpack a raw solver vector into ``(e, y, Y)`` with shapes (J, H)."""
+        J, H = self.instance.num_services, self.instance.num_nodes
+        e = x[: J * H].reshape(J, H)
+        y = x[J * H: 2 * J * H].reshape(J, H)
+        return e, y, float(x[2 * J * H])
+
+    def relaxed(self) -> "MilpFormulation":
+        """The rational relaxation: same matrices, no integrality."""
+        return MilpFormulation(
+            instance=self.instance,
+            objective=self.objective,
+            constraints=self.constraints,
+            integrality=np.zeros_like(self.integrality),
+            bounds=self.bounds,
+            forbidden=self.forbidden,
+        )
+
+
+def _forbidden_pairs(instance: ProblemInstance) -> np.ndarray:
+    """(J, H) mask of placements whose *requirements* alone cannot fit.
+
+    A placement is impossible when any elementary requirement exceeds the
+    node's elementary capacity or any aggregate requirement exceeds the
+    node's aggregate capacity (Eqs. 5-6 at ``y = 0``).
+    """
+    sv, nd = instance.services, instance.nodes
+    # (J, H, D) broadcast comparisons; J*H*D is at most a few hundred
+    # thousand entries for paper-scale instances.
+    elem_bad = (sv.req_elem[:, None, :] > nd.elementary[None, :, :]).any(axis=2)
+    agg_bad = (sv.req_agg[:, None, :] > nd.aggregate[None, :, :]).any(axis=2)
+    return elem_bad | agg_bad
+
+
+def build_formulation(instance: ProblemInstance, integral: bool = True
+                      ) -> MilpFormulation:
+    """Build the Eq. 1-7 formulation for *instance*.
+
+    With ``integral=False`` the ``e`` variables are continuous in [0, 1]
+    (the rational relaxation of §3.2).
+    """
+    J, H, D = instance.num_services, instance.num_nodes, instance.dims
+    sv, nd = instance.services, instance.nodes
+    n_e, n_y = J * H, J * H
+    n_vars = n_e + n_y + 1
+    Y_idx = n_e + n_y
+
+    objective = np.zeros(n_vars)
+    objective[Y_idx] = -1.0  # maximize Y
+
+    constraints: list[LinearConstraint] = []
+
+    # --- Eq. 3: one node per service -------------------------------------
+    rows = np.repeat(np.arange(J), H)
+    cols = np.arange(n_e)
+    a_place = sparse.csr_array(
+        (np.ones(n_e), (rows, cols)), shape=(J, n_vars))
+    constraints.append(LinearConstraint(a_place, lb=1.0, ub=1.0))
+
+    # --- Eq. 4: y_jh <= e_jh ---------------------------------------------
+    idx = np.arange(n_e)
+    data = np.concatenate([np.ones(n_e), -np.ones(n_e)])
+    rows = np.concatenate([idx, idx])
+    cols = np.concatenate([n_e + idx, idx])
+    a_link = sparse.csr_array((data, (rows, cols)), shape=(n_e, n_vars))
+    constraints.append(LinearConstraint(a_link, lb=-np.inf, ub=0.0))
+
+    # --- Eq. 5: elementary capacities (pruned) ----------------------------
+    # Candidate rows: all (j, h, d).  Keep those that can actually bind:
+    # r^e + n^e > c^e, excluding forbidden placements (handled via bounds).
+    forbidden = _forbidden_pairs(instance)
+    peak = sv.req_elem[:, None, :] + sv.need_elem[:, None, :]  # (J, 1->H, D)
+    can_bind = peak > nd.elementary[None, :, :]                 # (J, H, D)
+    can_bind &= ~forbidden[:, :, None]
+    jj, hh, dd = np.nonzero(can_bind)
+    if jj.size:
+        n_rows = jj.size
+        row_idx = np.arange(n_rows)
+        data = np.concatenate([sv.req_elem[jj, dd], sv.need_elem[jj, dd]])
+        rows = np.concatenate([row_idx, row_idx])
+        cols = np.concatenate([jj * H + hh, n_e + jj * H + hh])
+        a_elem = sparse.csr_array((data, (rows, cols)), shape=(n_rows, n_vars))
+        ub = nd.elementary[hh, dd]
+        constraints.append(LinearConstraint(a_elem, lb=-np.inf, ub=ub))
+
+    # --- Eq. 6: aggregate capacities ---------------------------------------
+    # Row (h, d): sum_j r^a_jd e_jh + n^a_jd y_jh <= c^a_hd.
+    # Column pattern: for each row, all J e-columns and J y-columns.
+    hh = np.repeat(np.arange(H), D)
+    dd = np.tile(np.arange(D), H)
+    n_rows = H * D
+    row_idx = np.repeat(np.arange(n_rows), J)          # each row has J entries
+    jj = np.tile(np.arange(J), n_rows)
+    e_cols = jj * H + np.repeat(hh, J)
+    y_cols = n_e + e_cols
+    e_data = sv.req_agg[jj, np.repeat(dd, J)]
+    y_data = sv.need_agg[jj, np.repeat(dd, J)]
+    a_agg = sparse.csr_array(
+        (np.concatenate([e_data, y_data]),
+         (np.concatenate([row_idx, row_idx]),
+          np.concatenate([e_cols, y_cols]))),
+        shape=(n_rows, n_vars))
+    constraints.append(
+        LinearConstraint(a_agg, lb=-np.inf, ub=nd.aggregate[hh, dd]))
+
+    # --- Eq. 7: sum_h y_jh >= Y --------------------------------------------
+    rows = np.concatenate([np.repeat(np.arange(J), H), np.arange(J)])
+    cols = np.concatenate([n_e + np.arange(n_y), np.full(J, Y_idx)])
+    data = np.concatenate([np.ones(n_y), -np.ones(J)])
+    a_min = sparse.csr_array((data, (rows, cols)), shape=(J, n_vars))
+    constraints.append(LinearConstraint(a_min, lb=0.0, ub=np.inf))
+
+    # --- Bounds (Eqs. 1-2) with forbidden-placement fixing ------------------
+    lb = np.zeros(n_vars)
+    ub = np.ones(n_vars)
+    fj, fh = np.nonzero(forbidden)
+    ub[fj * H + fh] = 0.0          # e_jh = 0
+    ub[n_e + fj * H + fh] = 0.0    # y_jh = 0 (implied, but tightens presolve)
+    bounds = Bounds(lb=lb, ub=ub)
+
+    integrality = np.zeros(n_vars)
+    if integral:
+        integrality[:n_e] = 1.0
+
+    return MilpFormulation(
+        instance=instance,
+        objective=objective,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+        forbidden=forbidden,
+    )

@@ -1,0 +1,44 @@
+"""Runtime CPU sharing under uncertain needs (§6): scheduler, policies,
+error model, zero-knowledge baseline, Theorem 1 machinery."""
+
+from .adaptive import AdaptiveThreshold
+from .baseline import evaluate_actual_yields, zero_knowledge_placement
+from .errors import NEED_FLOOR, apply_minimum_threshold, perturb_cpu_needs
+from .policies import (
+    POLICIES,
+    NodeSharingProblem,
+    alloc_caps,
+    alloc_weights,
+    equal_weights,
+    estimate_based_allocations,
+)
+from .theory import (
+    competitive_ratio_bound,
+    empirical_ratio,
+    equalweights_min_yield,
+    optimal_min_yield,
+    tight_instance_needs,
+)
+from .work_conserving import DEFAULT_EPSILON, work_conserving_shares
+
+__all__ = [
+    "AdaptiveThreshold",
+    "DEFAULT_EPSILON",
+    "NEED_FLOOR",
+    "POLICIES",
+    "NodeSharingProblem",
+    "alloc_caps",
+    "alloc_weights",
+    "apply_minimum_threshold",
+    "competitive_ratio_bound",
+    "empirical_ratio",
+    "equal_weights",
+    "equalweights_min_yield",
+    "estimate_based_allocations",
+    "evaluate_actual_yields",
+    "optimal_min_yield",
+    "perturb_cpu_needs",
+    "tight_instance_needs",
+    "work_conserving_shares",
+    "zero_knowledge_placement",
+]

@@ -1,0 +1,115 @@
+"""Adaptive threshold controller (the paper's stated open problem).
+
+§8: "One interesting problem will be to develop a method for determining
+and adapting the threshold used to mitigate estimate errors."  This
+module implements a simple feedback controller for that knob.
+
+The trade-off the threshold navigates (§6.2): raising it flattens
+sensitivity to estimation error (small services are over-reserved, so
+underestimates stop starving them) but lowers average performance toward
+the zero-knowledge level.  The controller therefore watches a *starvation
+signal* — how far the realized minimum yield falls below what the
+estimates promised — and adjusts multiplicatively:
+
+* realized ≪ promised (estimates were trusted too much): raise the
+  threshold sharply;
+* realized ≈ promised (reservation is paying for nothing): decay the
+  threshold slowly toward zero.
+
+Multiplicative-increase / gradual-decrease keeps the controller stable
+under the noisy, non-stationary errors of §6 while reacting fast to
+underestimation incidents — the same engineering logic as congestion
+control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AdaptiveThreshold"]
+
+
+@dataclass
+class AdaptiveThreshold:
+    """Feedback controller for the §6.2 minimum-threshold knob.
+
+    Parameters
+    ----------
+    initial:
+        Starting threshold.
+    min_threshold / max_threshold:
+        Clamp range; ``max_threshold`` should be of the order of the mean
+        service need (beyond that, placement quality collapses toward
+        zero-knowledge).
+    target_shortfall:
+        Tolerated relative gap between promised and realized minimum
+        yield before the controller reacts (e.g. 0.1 = 10%).
+    increase_factor / decrease_factor:
+        Multiplicative step sizes (> 1 and < 1 respectively).
+    """
+
+    initial: float = 0.0
+    min_threshold: float = 0.0
+    max_threshold: float = 0.5
+    target_shortfall: float = 0.10
+    increase_factor: float = 1.5
+    decrease_factor: float = 0.9
+    # Seed value used when increasing from an exactly-zero threshold.
+    seed_threshold: float = 0.02
+
+    value: float = field(init=False)
+    history: list[float] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_threshold <= self.max_threshold:
+            raise ValueError("need 0 <= min_threshold <= max_threshold")
+        if self.increase_factor <= 1.0:
+            raise ValueError("increase_factor must exceed 1")
+        if not 0.0 < self.decrease_factor < 1.0:
+            raise ValueError("decrease_factor must lie in (0, 1)")
+        self.value = float(np.clip(self.initial, self.min_threshold,
+                                   self.max_threshold))
+        self.history.append(self.value)
+
+    # ------------------------------------------------------------------
+    def observe(self, promised_min_yield: float,
+                realized_min_yield: float) -> float:
+        """Feed one epoch's outcome; returns the updated threshold.
+
+        ``promised_min_yield`` is what the placement algorithm certified
+        on the (thresholded) estimates; ``realized_min_yield`` is what the
+        runtime sharing actually delivered against true needs.
+        """
+        if promised_min_yield < 0 or realized_min_yield < 0:
+            raise ValueError("yields must be non-negative")
+        if promised_min_yield > 0:
+            shortfall = (promised_min_yield - realized_min_yield) \
+                / promised_min_yield
+        else:
+            shortfall = 0.0
+
+        if shortfall > self.target_shortfall:
+            # Estimates over-promised: reserve more.
+            base = self.value if self.value > 0 else self.seed_threshold
+            self.value = base * self.increase_factor
+        else:
+            # Promise kept: slowly give reserved capacity back.
+            self.value = self.value * self.decrease_factor
+            if self.value < 1e-4:
+                self.value = self.min_threshold
+        self.value = float(np.clip(self.value, self.min_threshold,
+                                   self.max_threshold))
+        self.history.append(self.value)
+        return self.value
+
+    # ------------------------------------------------------------------
+    @property
+    def epochs(self) -> int:
+        return len(self.history) - 1
+
+    def reset(self) -> None:
+        self.value = float(np.clip(self.initial, self.min_threshold,
+                                   self.max_threshold))
+        self.history = [self.value]

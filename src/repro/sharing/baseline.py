@@ -1,0 +1,114 @@
+"""Zero-knowledge baseline and the end-to-end evaluation glue (§6).
+
+The zero-knowledge scheduler knows rigid requirements (memory and
+elementary CPU, which are observable before launch) but nothing about CPU
+needs.  The paper argues the best it can do is "distribute services as
+evenly as possible across the available nodes" and rely on a
+work-conserving scheduler with equal weights at runtime.
+
+:func:`evaluate_actual_yields` is the shared measurement step: given any
+placement and the *true* needs, it runs one of the §6 runtime policies on
+every node and reports per-service actual yields.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.instance import ProblemInstance
+from .policies import NodeSharingProblem, POLICIES
+
+__all__ = ["zero_knowledge_placement", "evaluate_actual_yields"]
+
+
+def zero_knowledge_placement(instance: ProblemInstance) -> Optional[np.ndarray]:
+    """Spread services evenly: each goes to the least-populated fitting node.
+
+    Feasibility uses rigid requirements only.  Ties break toward the
+    lower node index, which keeps the baseline deterministic.
+    """
+    sv, nd = instance.services, instance.nodes
+    elem_ok = (sv.req_elem[:, None, :] <= nd.elementary[None, :, :] + 1e-12
+               ).all(axis=2)
+    loads = np.zeros_like(nd.aggregate)
+    counts = np.zeros(instance.num_nodes, dtype=np.int64)
+    placement = np.full(instance.num_services, -1, dtype=np.int64)
+    for j in range(instance.num_services):
+        fits = elem_ok[j] & (
+            loads + sv.req_agg[j] <= nd.aggregate + 1e-12).all(axis=1)
+        cands = np.flatnonzero(fits)
+        if cands.size == 0:
+            return None
+        h = int(cands[np.argmin(counts[cands])])
+        loads[h] += sv.req_agg[j]
+        counts[h] += 1
+        placement[j] = h
+    return placement
+
+
+def evaluate_actual_yields(
+    instance_true: ProblemInstance,
+    placement: np.ndarray,
+    policy: str | Callable[[NodeSharingProblem], np.ndarray],
+    estimated_instance: ProblemInstance | None = None,
+    cpu_dim: int = 0,
+) -> np.ndarray:
+    """Actual per-service yields when *placement* runs under *policy*.
+
+    Parameters
+    ----------
+    instance_true:
+        The instance with **true** needs; yields are measured against it.
+    placement:
+        ``(J,)`` node assignment (all services placed).
+    policy:
+        One of ``"ALLOCCAPS" | "ALLOCWEIGHTS" | "EQUALWEIGHTS"`` or a
+        callable with the same signature.  Estimate-driven policies size
+        their allocations from *estimated_instance* (defaults to the true
+        instance, i.e. perfect knowledge).
+    cpu_dim:
+        The fluid resource dimension being shared (CPU in the paper).
+
+    Every node's sharing problem is built as:
+
+    * capacity — the node's aggregate CPU minus the sum of its services'
+      rigid aggregate CPU requirements;
+    * demands — true aggregate CPU needs, clipped per service by the
+      elementary ceiling ``(c^e − r^e)/n^e · n^a`` (a service cannot use
+      aggregate CPU its virtual elements cannot consume);
+    * weights — per the chosen policy, from estimated needs.
+    """
+    policy_fn = POLICIES[policy] if isinstance(policy, str) else policy
+    est = (estimated_instance or instance_true).services
+    sv, nd = instance_true.services, instance_true.nodes
+    placement = np.asarray(placement, dtype=np.int64)
+    if (placement < 0).any():
+        raise ValueError("all services must be placed")
+
+    yields = np.ones(instance_true.num_services)
+    for h in np.unique(placement):
+        members = np.flatnonzero(placement == h)
+        req = sv.req_agg[members, cpu_dim]
+        capacity = nd.aggregate[h, cpu_dim] - req.sum()
+        true_needs = sv.need_agg[members, cpu_dim]
+        est_needs = est.need_agg[members, cpu_dim]
+        # Elementary ceiling on the achievable yield, folded into the
+        # maximum useful aggregate consumption.
+        elem_room = nd.elementary[h, cpu_dim] - sv.req_elem[members, cpu_dim]
+        elem_need = sv.need_elem[members, cpu_dim]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            y_cap = np.where(elem_need > 0,
+                             np.clip(elem_room, 0.0, None) / elem_need, 1.0)
+        max_useful = np.minimum(y_cap, 1.0) * true_needs
+        problem = NodeSharingProblem(
+            capacity=max(capacity, 0.0),
+            estimated_needs=est_needs,
+            true_needs=true_needs,
+            max_useful=max_useful,
+        )
+        consumed = policy_fn(problem)
+        yields[members] = problem.yields_from_consumption(consumed)
+    return yields

@@ -1,0 +1,68 @@
+"""CPU-need estimation errors and the threshold mitigation (§6.2).
+
+The experiments perturb each service's *aggregate* CPU need with a uniform
+error in ``[−max_error, +max_error]`` (floored at 0.001), scaling the
+elementary CPU need to preserve its proportion to the aggregate.  The
+mitigation strategy rounds estimates *up* to a minimum threshold: small
+services — the ones most vulnerable to underestimation — are deliberately
+over-provisioned, effectively holding CPU in reserve, while estimates
+above the threshold pass through unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.service import ServiceArray
+from ..util.rng import as_generator
+
+__all__ = ["perturb_cpu_needs", "apply_minimum_threshold", "NEED_FLOOR"]
+
+#: Perturbed aggregate needs are floored here (paper: "to a minimum of 0.001").
+NEED_FLOOR = 1e-3
+
+
+def perturb_cpu_needs(services: ServiceArray, max_error: float,
+                      rng: np.random.Generator | int | None = None,
+                      cpu_dim: int = 0) -> ServiceArray:
+    """Return a copy of *services* with erroneous CPU-need estimates.
+
+    ``max_error`` is the half-width of the uniform error added to each
+    aggregate CPU need.  Elementary CPU needs are rescaled by the same
+    factor so the elementary/aggregate proportion is preserved.
+    """
+    if max_error < 0:
+        raise ValueError("max_error must be non-negative")
+    rng = as_generator(rng)
+    need_agg = services.need_agg.copy()
+    need_elem = services.need_elem.copy()
+    true_agg = need_agg[:, cpu_dim]
+    error = rng.uniform(-max_error, max_error, size=true_agg.shape)
+    new_agg = np.maximum(true_agg + error, NEED_FLOOR)
+    ratio = np.ones_like(true_agg)
+    np.divide(new_agg, true_agg, out=ratio, where=true_agg > 0)
+    need_agg[:, cpu_dim] = new_agg
+    need_elem[:, cpu_dim] = need_elem[:, cpu_dim] * ratio
+    return ServiceArray.from_arrays(
+        services.req_elem, services.req_agg, need_elem, need_agg,
+        names=services.names)
+
+
+def apply_minimum_threshold(services: ServiceArray, threshold: float,
+                            cpu_dim: int = 0) -> ServiceArray:
+    """Round aggregate CPU-need estimates up to *threshold* (§6.2).
+
+    Estimates already above the threshold are unchanged.  Only the
+    *aggregate* estimate is raised: the threshold models holding aggregate
+    CPU in reserve for small services, not a change in their per-element
+    parallelism, so elementary estimates pass through untouched.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if threshold == 0.0:
+        return services
+    need_agg = services.need_agg.copy()
+    need_agg[:, cpu_dim] = np.maximum(need_agg[:, cpu_dim], threshold)
+    return ServiceArray.from_arrays(
+        services.req_elem, services.req_agg, services.need_elem, need_agg,
+        names=services.names)

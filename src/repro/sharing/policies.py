@@ -1,0 +1,145 @@
+"""Runtime CPU-allocation policies under uncertain needs (§6).
+
+Once services are mapped to a node (by any placement algorithm, using
+possibly-wrong *estimated* needs), the hypervisor must divide the node's
+CPU among them while their *true* needs reveal themselves.  The paper
+compares three policies:
+
+* **ALLOCCAPS** — hard utilization caps sized from the estimate-based
+  max-min yield.  Not work-conserving: capacity reserved for an
+  over-estimated service is wasted, and an under-estimated service starves
+  at its cap.
+* **ALLOCWEIGHTS** — the same estimate-based allocations, but used as
+  *weights* of a work-conserving scheduler, so estimation slack flows to
+  whoever can use it.
+* **EQUALWEIGHTS** — work-conserving with uniform weights, ignoring
+  estimates entirely (the policy analyzed by Theorem 1).
+
+All three operate on one node and one fluid resource dimension (CPU in the
+paper's evaluation).  Demands and yields are expressed on the *aggregate*
+axis; the caller can fold per-service elementary ceilings into
+``max_useful`` (a service cannot exploit aggregate CPU beyond what its
+virtual elements may consume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .work_conserving import DEFAULT_EPSILON, work_conserving_shares
+
+__all__ = [
+    "NodeSharingProblem",
+    "alloc_caps",
+    "alloc_weights",
+    "equal_weights",
+    "estimate_based_allocations",
+    "POLICIES",
+]
+
+
+@dataclass
+class NodeSharingProblem:
+    """CPU sharing on one node.
+
+    Attributes
+    ----------
+    capacity:
+        Fluid CPU available after rigid requirements are carved out.
+    estimated_needs / true_needs:
+        ``(J,)`` aggregate CPU needs: what the scheduler believed when it
+        sized allocations, and what the services actually demand.
+    max_useful:
+        Optional ``(J,)`` cap on useful consumption (elementary ceilings);
+        defaults to unbounded.
+    """
+
+    capacity: float
+    estimated_needs: np.ndarray
+    true_needs: np.ndarray
+    max_useful: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.estimated_needs = np.asarray(self.estimated_needs, dtype=np.float64)
+        self.true_needs = np.asarray(self.true_needs, dtype=np.float64)
+        if self.estimated_needs.shape != self.true_needs.shape:
+            raise ValueError("estimated and true needs must have equal shape")
+        if self.max_useful is not None:
+            self.max_useful = np.asarray(self.max_useful, dtype=np.float64)
+            if self.max_useful.shape != self.true_needs.shape:
+                raise ValueError("max_useful shape mismatch")
+
+    @property
+    def num_services(self) -> int:
+        return self.true_needs.shape[0]
+
+    def effective_demands(self) -> np.ndarray:
+        """True demands clipped by the per-service usefulness ceiling."""
+        if self.max_useful is None:
+            return self.true_needs.copy()
+        return np.minimum(self.true_needs, self.max_useful)
+
+    def yields_from_consumption(self, consumed: np.ndarray) -> np.ndarray:
+        """Yield of each service given actual CPU consumed.
+
+        A service with zero true need is fully satisfied by definition.
+        """
+        out = np.ones(self.num_services)
+        mask = self.true_needs > 0
+        out[mask] = np.clip(consumed[mask] / self.true_needs[mask], 0.0, 1.0)
+        return out
+
+
+def estimate_based_allocations(problem: NodeSharingProblem) -> np.ndarray:
+    """Per-service CPU allocations maximizing min yield *under estimates*.
+
+    The uniform estimate-based yield is ``ŷ = min(1, capacity / Σ ñ)``; each
+    service is then sized ``ŷ · ñ_j``.  This is the single-dimension
+    specialization of the closed-form node max-min (requirements are
+    already excluded from ``capacity``).
+    """
+    est = problem.estimated_needs
+    total = est.sum()
+    if total <= 0:
+        return np.zeros(problem.num_services)
+    # capacity / total may overflow for denormal totals; the resulting
+    # inf is immediately capped at yield 1, which is the intended value.
+    with np.errstate(over="ignore"):
+        y_hat = min(1.0, problem.capacity / total)
+    return y_hat * est
+
+
+def alloc_caps(problem: NodeSharingProblem) -> np.ndarray:
+    """ALLOCCAPS: hard caps at the estimate-based allocations.
+
+    Each service consumes ``min(cap, true demand)``; leftover capacity is
+    *not* redistributed.
+    """
+    caps = estimate_based_allocations(problem)
+    return np.minimum(caps, problem.effective_demands())
+
+
+def alloc_weights(problem: NodeSharingProblem,
+                  epsilon: float = DEFAULT_EPSILON) -> np.ndarray:
+    """ALLOCWEIGHTS: estimate-based allocations as work-conserving weights."""
+    weights = estimate_based_allocations(problem)
+    return work_conserving_shares(weights, problem.effective_demands(),
+                                  problem.capacity, epsilon=epsilon)
+
+
+def equal_weights(problem: NodeSharingProblem,
+                  epsilon: float = DEFAULT_EPSILON) -> np.ndarray:
+    """EQUALWEIGHTS: work-conserving with uniform weights."""
+    weights = np.ones(problem.num_services)
+    return work_conserving_shares(weights, problem.effective_demands(),
+                                  problem.capacity, epsilon=epsilon)
+
+
+#: Name → policy function, as reported in the figures.
+POLICIES = {
+    "ALLOCCAPS": alloc_caps,
+    "ALLOCWEIGHTS": alloc_weights,
+    "EQUALWEIGHTS": equal_weights,
+}

@@ -1,0 +1,89 @@
+"""Theorem 1 machinery (§6.1).
+
+For the on-line single-node, single-resource min-yield maximization
+problem, EQUALWEIGHTS is ``(2J−1)/J²``-competitive against an omniscient
+optimal scheduler, and the bound is tight: the instance
+``n₁ = 1, n_j = 1/J (j ≥ 2)`` achieves it exactly.
+
+Model hypothesis (implicit in the paper's proof, surfaced by our
+property-based tests): every need satisfies ``n_j ≤ capacity``.  Needs are
+defined relative to a reference machine, so a single service never demands
+more than the whole node; with ``n̂ > capacity`` the Case-1 minimization
+over ``n̂`` in the proof would no longer stop at ``n̂ = 1`` and the ratio
+can drop below ``(2J−1)/J²`` (e.g. needs ``[2, 0.5]`` on capacity 1 give
+ratio 0.625 < 3/4).
+
+This module provides the ratio, the tight instance, and the two sides of
+the comparison (EQUALWEIGHTS yield via the actual scheduler simulation,
+optimal yield in closed form) so tests can verify the theorem empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .policies import NodeSharingProblem, equal_weights
+
+__all__ = [
+    "competitive_ratio_bound",
+    "tight_instance_needs",
+    "optimal_min_yield",
+    "equalweights_min_yield",
+    "empirical_ratio",
+]
+
+
+def competitive_ratio_bound(num_services: int) -> float:
+    """The Theorem-1 worst-case ratio ``(2J−1)/J²``."""
+    if num_services < 1:
+        raise ValueError("need at least one service")
+    J = num_services
+    return (2 * J - 1) / (J * J)
+
+
+def tight_instance_needs(num_services: int) -> np.ndarray:
+    """The needs vector achieving the bound: ``n₁ = 1, n_j = 1/J``."""
+    if num_services < 1:
+        raise ValueError("need at least one service")
+    J = num_services
+    needs = np.full(J, 1.0 / J)
+    needs[0] = 1.0
+    return needs
+
+
+def optimal_min_yield(needs: np.ndarray, capacity: float = 1.0) -> float:
+    """Omniscient optimum on one node / one resource.
+
+    With full knowledge the scheduler equalizes yields:
+    ``y* = min(1, capacity / Σ n)`` (every service gets ``y*·n_j``).
+    """
+    needs = np.asarray(needs, dtype=np.float64)
+    total = needs.sum()
+    if total <= 0:
+        return 1.0
+    # Denormal totals overflow the division; the inf is capped at 1.
+    with np.errstate(over="ignore"):
+        return min(1.0, capacity / total)
+
+
+def equalweights_min_yield(needs: np.ndarray, capacity: float = 1.0,
+                           epsilon: float = 0.0) -> float:
+    """Minimum yield actually achieved by EQUALWEIGHTS.
+
+    ``epsilon = 0`` runs the redistribution to exact convergence, which is
+    what the theorem analyzes.
+    """
+    needs = np.asarray(needs, dtype=np.float64)
+    problem = NodeSharingProblem(
+        capacity=capacity, estimated_needs=np.zeros_like(needs),
+        true_needs=needs)
+    consumed = equal_weights(problem, epsilon=epsilon)
+    return float(problem.yields_from_consumption(consumed).min())
+
+
+def empirical_ratio(needs: np.ndarray, capacity: float = 1.0) -> float:
+    """EQUALWEIGHTS-to-optimal min-yield ratio on a given instance."""
+    opt = optimal_min_yield(needs, capacity)
+    if opt <= 0:
+        return 1.0
+    return equalweights_min_yield(needs, capacity) / opt

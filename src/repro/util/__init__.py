@@ -1,0 +1,16 @@
+"""Shared utilities: deterministic RNG streams, timing, parallel map."""
+
+from .parallel import default_workers, parallel_map
+from .rng import as_generator, derive_seed, spawn_generators
+from .timing import Stopwatch, timed_call, timer
+
+__all__ = [
+    "Stopwatch",
+    "as_generator",
+    "default_workers",
+    "derive_seed",
+    "parallel_map",
+    "spawn_generators",
+    "timed_call",
+    "timer",
+]

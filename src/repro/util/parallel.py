@@ -1,0 +1,53 @@
+"""Process-pool map for embarrassingly parallel experiment sweeps.
+
+The experiment grids (thousands of independent instances) are the classic
+"scatter work, gather results" pattern from the HPC guides.  We use
+``concurrent.futures.ProcessPoolExecutor`` with picklable task descriptors
+(seeds + parameters, never generator objects or big arrays) so each worker
+regenerates its instance locally — the same discipline an MPI scatter would
+impose, without requiring an MPI runtime.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["parallel_map", "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count: all cores, overridable via ``REPRO_WORKERS``."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
+                 workers: int | None = None,
+                 chunksize: int | None = None) -> list[R]:
+    """Map *fn* over *tasks*, preserving order.
+
+    Falls back to a serial loop when only one worker is requested or there
+    is a single task — this keeps tracebacks readable in tests and avoids
+    pool start-up cost for small sweeps.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    workers = workers if workers is not None else default_workers()
+    workers = min(workers, len(tasks))
+    if workers <= 1:
+        return [fn(t) for t in tasks]
+    if chunksize is None:
+        chunksize = max(1, len(tasks) // (workers * 8))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks, chunksize=chunksize))

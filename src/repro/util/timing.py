@@ -1,0 +1,57 @@
+"""Wall-clock timing helpers for the run-time experiments (Table 2)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["Stopwatch", "timed_call", "timer"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch; each ``lap`` records one duration in seconds."""
+
+    laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def lap(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.laps.append(time.perf_counter() - start)
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.laps) if self.laps else 0.0
+
+
+def timed_call(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
+    """Invoke *fn* and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@contextmanager
+def timer() -> Iterator[Callable[[], float]]:
+    """``with timer() as t: ...; elapsed = t()`` — reads final elapsed time."""
+    start = time.perf_counter()
+    end: list[float] = []
+
+    def read() -> float:
+        return (end[0] if end else time.perf_counter()) - start
+
+    try:
+        yield read
+    finally:
+        end.append(time.perf_counter())

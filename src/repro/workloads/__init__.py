@@ -1,0 +1,18 @@
+"""Workload and platform generation with the paper's scaling pipeline (§4)."""
+
+from .google_model import DEFAULT_MODEL, GoogleWorkloadModel
+from .instances import ScenarioConfig, generate_base_instance, generate_instance
+from .platforms import generate_platform
+from .scaling import normalize_cpu_needs, scale_instance, scale_memory_to_slack
+
+__all__ = [
+    "DEFAULT_MODEL",
+    "GoogleWorkloadModel",
+    "ScenarioConfig",
+    "generate_base_instance",
+    "generate_instance",
+    "generate_platform",
+    "normalize_cpu_needs",
+    "scale_instance",
+    "scale_memory_to_slack",
+]

@@ -1,0 +1,78 @@
+"""Heterogeneous platform generator (§4).
+
+Aggregate CPU and memory capacities are drawn from a normal distribution
+with median 0.5, truncated to [0.001, 1.0]; the coefficient of variation
+(CoV) sweeps 0 (perfectly homogeneous) to 1 (highly heterogeneous).  All
+machines are quad-core regardless of total power, so the elementary CPU
+capacity is one quarter of the aggregate; memory pools, so its elementary
+capacity equals its aggregate.
+
+The figure variants "CPU held homogeneous" / "memory held homogeneous"
+pin the corresponding capacity at the 0.5 median while the other dimension
+keeps its CoV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.node import Node, NodeArray
+from ..core.resources import VectorPair
+from ..util.rng import as_generator
+
+__all__ = ["generate_platform", "PLATFORM_MEDIAN", "CAPACITY_MIN", "CAPACITY_MAX"]
+
+PLATFORM_MEDIAN = 0.5
+CAPACITY_MIN = 0.001
+CAPACITY_MAX = 1.0
+DEFAULT_CORES = 4
+
+
+def _draw_capacities(rng: np.random.Generator, hosts: int, cov: float,
+                     homogeneous: bool) -> np.ndarray:
+    """One capacity dimension for all hosts."""
+    if homogeneous or cov == 0.0:
+        return np.full(hosts, PLATFORM_MEDIAN)
+    sigma = cov * PLATFORM_MEDIAN
+    values = rng.normal(PLATFORM_MEDIAN, sigma, size=hosts)
+    return np.clip(values, CAPACITY_MIN, CAPACITY_MAX)
+
+
+def generate_platform(hosts: int, cov: float,
+                      rng: np.random.Generator | int | None = None,
+                      cores: int = DEFAULT_CORES,
+                      cpu_homogeneous: bool = False,
+                      mem_homogeneous: bool = False) -> NodeArray:
+    """Generate a heterogeneous (CPU, memory) platform.
+
+    Parameters
+    ----------
+    hosts:
+        Number of nodes (the paper uses 64).
+    cov:
+        Coefficient of variation of both capacity distributions, in [0, 1].
+    cores:
+        CPU elements per node; elementary CPU = aggregate / cores.
+    cpu_homogeneous / mem_homogeneous:
+        Pin the respective dimension at the median (Figures 3-4).
+    """
+    if hosts < 1:
+        raise ValueError("need at least one host")
+    if not 0.0 <= cov <= 1.0:
+        raise ValueError(f"cov must lie in [0, 1], got {cov}")
+    rng = as_generator(rng)
+    # Draw CPU first, then memory, so pinning one dimension does not shift
+    # the other's stream (figure variants stay comparable per seed).
+    cpu = _draw_capacities(rng, hosts, cov, cpu_homogeneous)
+    mem = _draw_capacities(rng, hosts, cov, mem_homogeneous)
+    nodes = [
+        Node(
+            VectorPair(
+                np.array([cpu[h] / cores, mem[h]]),
+                np.array([cpu[h], mem[h]]),
+            ),
+            name=f"node-{h}",
+        )
+        for h in range(hosts)
+    ]
+    return NodeArray(nodes)

@@ -1,0 +1,73 @@
+"""Tests for the extra baselines: exact MILP algorithm and random placement."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import metahvp, milp_exact, random_placement
+from repro.core import Node, ProblemInstance, Service
+from repro.workloads import ScenarioConfig, generate_instance
+
+
+def small_instance(seed=0):
+    return generate_instance(ScenarioConfig(hosts=4, services=10, cov=0.5,
+                                            slack=0.6, seed=seed))
+
+
+class TestMilpExact:
+    def test_solves_and_validates(self):
+        alloc = milp_exact()(small_instance())
+        assert alloc is not None
+        alloc.validate()
+
+    def test_dominates_heuristics(self):
+        inst = small_instance(seed=5)
+        exact = milp_exact()(inst)
+        heur = metahvp()(inst)
+        if exact is not None and heur is not None:
+            assert exact.minimum_yield() >= heur.minimum_yield() - 1e-3
+
+    def test_infeasible_returns_none(self):
+        inst = ProblemInstance(
+            [Node.multicore(1, 0.5, 0.5)],
+            [Service.from_vectors([0.9, 0.1], [0.9, 0.1],
+                                  [0.0, 0.0], [0.0, 0.0])])
+        assert milp_exact()(inst) is None
+
+    def test_name(self):
+        assert milp_exact().name == "MILP"
+
+
+class TestRandomPlacement:
+    def test_solves_and_validates(self):
+        alloc = random_placement()(small_instance(),
+                                   rng=np.random.default_rng(0))
+        if alloc is not None:
+            alloc.validate()
+
+    def test_seed_determinism(self):
+        inst = small_instance()
+        a = random_placement()(inst, rng=np.random.default_rng(3))
+        b = random_placement()(inst, rng=np.random.default_rng(3))
+        assert (a is None) == (b is None)
+        if a is not None:
+            np.testing.assert_array_equal(a.placement, b.placement)
+
+    def test_usually_loses_to_metahvp(self):
+        """The sanity-floor property: over several instances, RANDOM's
+        average minimum yield must not beat METAHVP's."""
+        rand_total, hvp_total, n = 0.0, 0.0, 0
+        for seed in range(5):
+            inst = small_instance(seed=seed)
+            r = random_placement()(inst, rng=np.random.default_rng(seed))
+            h = metahvp()(inst)
+            if r is not None and h is not None:
+                rand_total += r.minimum_yield()
+                hvp_total += h.minimum_yield()
+                n += 1
+        if n:
+            assert hvp_total >= rand_total - 1e-9
+
+    def test_name_and_flag(self):
+        algo = random_placement()
+        assert algo.name == "RANDOM"
+        assert algo.stochastic

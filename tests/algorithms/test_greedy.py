@@ -1,0 +1,130 @@
+"""Tests for the greedy family (S1-S7 × P1-P7) and METAGREEDY."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.greedy import (
+    NODE_PICKERS,
+    SERVICE_SORTS,
+    all_greedy_algorithms,
+    greedy_algorithm,
+    metagreedy,
+)
+from repro.core import Node, ProblemInstance, Service
+
+
+def make_instance(seed=0, hosts=4, services=10):
+    rng = np.random.default_rng(seed)
+    nodes = [Node.multicore(4, rng.uniform(0.05, 0.3), rng.uniform(0.3, 1.0))
+             for _ in range(hosts)]
+    svcs = []
+    for _ in range(services):
+        mem = rng.uniform(0.02, 0.15)
+        svcs.append(Service.from_vectors(
+            [0.01, mem], [rng.uniform(0.02, 0.08), mem],
+            [0.02, 0.0], [rng.uniform(0.05, 0.3), 0.0]))
+    return ProblemInstance(nodes, svcs)
+
+
+class TestServiceSorts:
+    def test_counts(self):
+        assert len(SERVICE_SORTS) == 7
+        assert len(NODE_PICKERS) == 7
+
+    def test_s1_is_natural_order(self):
+        inst = make_instance()
+        np.testing.assert_array_equal(SERVICE_SORTS["S1"](inst),
+                                      np.arange(10))
+
+    def test_s2_descending_max_need(self):
+        inst = make_instance()
+        order = SERVICE_SORTS["S2"](inst)
+        keys = inst.services.need_agg.max(axis=1)[order]
+        assert (np.diff(keys) <= 1e-12).all()
+
+    def test_s5_descending_sum_requirements(self):
+        inst = make_instance()
+        order = SERVICE_SORTS["S5"](inst)
+        keys = inst.services.req_agg.sum(axis=1)[order]
+        assert (np.diff(keys) <= 1e-12).all()
+
+    def test_s7_descending_req_plus_need(self):
+        inst = make_instance()
+        order = SERVICE_SORTS["S7"](inst)
+        keys = (inst.services.req_agg.sum(axis=1)
+                + inst.services.need_agg.sum(axis=1))[order]
+        assert (np.diff(keys) <= 1e-12).all()
+
+    def test_all_orders_are_permutations(self):
+        inst = make_instance()
+        for fn in SERVICE_SORTS.values():
+            assert sorted(fn(inst).tolist()) == list(range(10))
+
+
+class TestGreedyAlgorithms:
+    def test_49_distinct_algorithms(self):
+        algos = all_greedy_algorithms()
+        assert len(algos) == 49
+        assert len({a.name for a in algos}) == 49
+
+    @pytest.mark.parametrize("sort_name", list(SERVICE_SORTS))
+    @pytest.mark.parametrize("pick_name", list(NODE_PICKERS))
+    def test_every_combination_produces_valid_allocation(self, sort_name,
+                                                         pick_name):
+        inst = make_instance()
+        alloc = greedy_algorithm(sort_name, pick_name)(inst)
+        assert alloc is not None
+        alloc.validate()
+        assert alloc.minimum_yield() >= 0.0
+
+    def test_p7_is_first_fit(self):
+        # With all nodes identical and P7, the first node fills first.
+        nodes = [Node.multicore(2, 0.5, 1.0)] * 3
+        svc = Service.from_vectors([0.1, 0.1], [0.3, 0.1],
+                                   [0.0, 0.0], [0.0, 0.0])
+        inst = ProblemInstance(nodes, [svc] * 3)
+        alloc = greedy_algorithm("S1", "P7")(inst)
+        assert alloc.placement.tolist() == [0, 0, 0]
+
+    def test_p6_spreads_load(self):
+        # Worst fit by total availability alternates across equal nodes.
+        nodes = [Node.multicore(2, 0.5, 1.0)] * 2
+        svc = Service.from_vectors([0.1, 0.1], [0.3, 0.1],
+                                   [0.0, 0.0], [0.0, 0.0])
+        inst = ProblemInstance(nodes, [svc] * 2)
+        alloc = greedy_algorithm("S1", "P6")(inst)
+        assert sorted(alloc.placement.tolist()) == [0, 1]
+
+    def test_failure_when_requirements_cannot_fit(self):
+        nodes = [Node.multicore(1, 0.5, 0.2)]
+        svc = Service.from_vectors([0.1, 0.15], [0.1, 0.15],
+                                   [0.0, 0.0], [0.0, 0.0])
+        inst = ProblemInstance(nodes, [svc] * 2)  # memory 0.3 > 0.2
+        assert greedy_algorithm("S1", "P7")(inst) is None
+
+
+class TestMetagreedy:
+    def test_solves_and_validates(self):
+        inst = make_instance()
+        alloc = metagreedy()(inst)
+        assert alloc is not None
+        alloc.validate()
+
+    def test_at_least_as_good_as_every_member(self):
+        inst = make_instance(seed=3)
+        meta_alloc = metagreedy()(inst)
+        for algo in all_greedy_algorithms()[::7]:  # sample one per sort
+            alloc = algo(inst)
+            if alloc is not None:
+                assert (meta_alloc.minimum_yield()
+                        >= alloc.minimum_yield() - 1e-12)
+
+    def test_fails_only_when_all_fail(self):
+        nodes = [Node.multicore(1, 0.5, 0.2)]
+        svc = Service.from_vectors([0.1, 0.15], [0.1, 0.15],
+                                   [0.0, 0.0], [0.0, 0.0])
+        inst = ProblemInstance(nodes, [svc] * 2)
+        assert metagreedy()(inst) is None
+
+    def test_name(self):
+        assert metagreedy().name == "METAGREEDY"

@@ -1,0 +1,236 @@
+"""Tests for PackingState and the FF/BF/PP packers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.vector_packing import (
+    PackingState,
+    ProbeContext,
+    SortStrategy,
+    VPStrategy,
+    best_fit,
+    first_fit,
+    permutation_pack,
+    rank_from_order,
+    run_strategy,
+)
+from repro.algorithms.vector_packing.sorting import MAX, NONE_SORT, SUM
+from repro.core import Node, ProblemInstance, Service
+
+
+def make_instance(node_specs, svc_specs):
+    """node_specs: list of (cores, per_core, mem); svc_specs: list of
+    (req_e, req_a, need_e, need_a) 2-D tuples."""
+    nodes = [Node.multicore(c, p, m) for c, p, m in node_specs]
+    services = [Service.from_vectors(*spec) for spec in svc_specs]
+    return ProblemInstance(nodes, services)
+
+
+def simple_instance():
+    # Two identical dual-core nodes; three small services.
+    return make_instance(
+        [(2, 0.5, 1.0), (2, 0.5, 1.0)],
+        [([0.2, 0.2], [0.4, 0.2], [0.0, 0.0], [0.0, 0.0])] * 3,
+    )
+
+
+class TestPackingState:
+    def test_demands_at_yield(self):
+        inst = make_instance(
+            [(2, 0.5, 1.0)],
+            [([0.1, 0.2], [0.2, 0.2], [0.1, 0.0], [0.2, 0.0])])
+        state = PackingState(inst, 0.5)
+        np.testing.assert_allclose(state.item_elem, [[0.15, 0.2]])
+        np.testing.assert_allclose(state.item_agg, [[0.3, 0.2]])
+
+    def test_elem_ok_static_table(self):
+        inst = make_instance(
+            [(1, 0.5, 1.0), (1, 1.0, 1.0)],
+            [([0.8, 0.1], [0.8, 0.1], [0.0, 0.0], [0.0, 0.0])])
+        state = PackingState(inst, 0.0)
+        assert state.elem_ok.tolist() == [[False, True]]
+
+    def test_place_updates_loads_and_assignment(self):
+        state = PackingState(simple_instance(), 0.0)
+        state.place(0, 1)
+        assert state.assignment[0] == 1
+        np.testing.assert_allclose(state.loads[1], [0.4, 0.2])
+        assert state.unplaced_count == 2
+
+    def test_reset_clears_everything(self):
+        state = PackingState(simple_instance(), 0.0)
+        state.place(0, 0)
+        state.reset()
+        assert (state.assignment == -1).all()
+        assert state.loads.sum() == 0
+        assert state.unplaced_count == 3
+
+    def test_bins_fitting_item_respects_loads(self):
+        # Node aggregate memory 1.0; two services of 0.6 memory each.
+        inst = make_instance(
+            [(2, 0.5, 1.0)],
+            [([0.1, 0.6], [0.1, 0.6], [0.0, 0.0], [0.0, 0.0])] * 2)
+        state = PackingState(inst, 0.0)
+        assert state.bins_fitting_item(0).tolist() == [True]
+        state.place(0, 0)
+        assert state.bins_fitting_item(1).tolist() == [False]
+
+    def test_trivially_infeasible_detects_oversize(self):
+        inst = make_instance(
+            [(1, 0.5, 0.5)],
+            [([0.9, 0.1], [0.9, 0.1], [0.0, 0.0], [0.0, 0.0])])
+        assert PackingState(inst, 0.0).trivially_infeasible()
+
+    def test_result_none_until_complete(self):
+        state = PackingState(simple_instance(), 0.0)
+        assert state.result() is None
+        for j in range(3):
+            state.place(j, j % 2)
+        assert state.result() is not None
+
+
+class TestFirstFit:
+    def test_fills_first_bin_first(self):
+        state = PackingState(simple_instance(), 0.0)
+        ok = first_fit(state, np.arange(3), np.arange(2))
+        assert ok
+        # Services 0 and 1 fit on node 0 (agg CPU 1.0 = 0.4+0.4 <= 1.0);
+        # service 2 overflows to node 1.
+        assert state.assignment.tolist() == [0, 0, 1]
+
+    def test_respects_bin_order(self):
+        state = PackingState(simple_instance(), 0.0)
+        ok = first_fit(state, np.arange(3), np.array([1, 0]))
+        assert ok
+        assert state.assignment.tolist() == [1, 1, 0]
+
+    def test_fails_when_capacity_runs_out(self):
+        inst = make_instance(
+            [(1, 0.5, 0.5)],
+            [([0.3, 0.3], [0.3, 0.3], [0.0, 0.0], [0.0, 0.0])] * 2)
+        state = PackingState(inst, 0.0)
+        assert not first_fit(state, np.arange(2), np.arange(1))
+
+
+class TestBestFit:
+    def test_homogeneous_picks_fullest(self):
+        # Three nodes; preload node 2 by placing an item there, then best
+        # fit should prefer it for the next item.
+        inst = make_instance(
+            [(2, 0.5, 1.0)] * 3,
+            [([0.1, 0.1], [0.1, 0.1], [0.0, 0.0], [0.0, 0.0])] * 2)
+        state = PackingState(inst, 0.0)
+        state.place(0, 2)
+        ok = best_fit(state, np.array([1]), by_remaining_capacity=False)
+        assert ok
+        assert state.assignment[1] == 2
+
+    def test_hetero_picks_least_remaining(self):
+        # Empty nodes with different capacities: best fit by remaining
+        # capacity chooses the smallest node that fits.
+        inst = make_instance(
+            [(4, 0.5, 1.0), (1, 0.5, 0.5)],
+            [([0.1, 0.1], [0.1, 0.1], [0.0, 0.0], [0.0, 0.0])])
+        state = PackingState(inst, 0.0)
+        ok = best_fit(state, np.array([0]), by_remaining_capacity=True)
+        assert ok
+        assert state.assignment[0] == 1
+
+    def test_fails_cleanly(self):
+        inst = make_instance(
+            [(1, 0.5, 0.5)],
+            [([0.3, 0.4], [0.3, 0.4], [0.0, 0.0], [0.0, 0.0])] * 2)
+        state = PackingState(inst, 0.0)
+        assert not best_fit(state, np.arange(2), by_remaining_capacity=False)
+
+
+class TestPermutationPack:
+    def test_balances_against_bin_imbalance(self):
+        # One bin loaded heavily on dim 0; two items: one CPU-heavy, one
+        # memory-heavy. PP must pick the memory-heavy item (goes against
+        # the imbalance).
+        inst = make_instance(
+            [(4, 1.0, 4.0)],
+            [
+                ([0.0, 0.0], [2.0, 0.5], [0.0, 0.0], [0.0, 0.0]),  # cpu-heavy
+                ([0.0, 0.0], [0.5, 2.0], [0.0, 0.0], [0.0, 0.0]),  # mem-heavy
+                ([0.0, 0.0], [1.5, 0.2], [0.0, 0.0], [0.0, 0.0]),  # cpu-heavy
+            ])
+        state = PackingState(inst, 0.0)
+        state.loads[0] = [2.0, 0.2]  # dim 0 (CPU) already loaded
+        rank = rank_from_order(np.arange(3))
+        # Run one bin pass; first selection should be item 1 (mem-heavy).
+        permutation_pack(state, rank, np.array([0]))
+        order_of_placement = state.assignment >= 0
+        assert order_of_placement[1]  # mem-heavy placed
+
+    def test_packs_simple_instance(self):
+        state = PackingState(simple_instance(), 0.0)
+        rank = rank_from_order(np.arange(3))
+        assert permutation_pack(state, rank, np.arange(2))
+        assert state.complete
+
+    def test_window_one_equals_choose_pack(self):
+        inst = make_instance(
+            [(4, 0.5, 2.0), (4, 0.5, 2.0)],
+            [([0.1, 0.1], [0.3, 0.4], [0.0, 0.0], [0.0, 0.0]),
+             ([0.1, 0.1], [0.4, 0.3], [0.0, 0.0], [0.0, 0.0]),
+             ([0.1, 0.1], [0.2, 0.2], [0.0, 0.0], [0.0, 0.0])])
+        results = []
+        for cp in (False, True):
+            state = PackingState(inst, 0.0)
+            rank = rank_from_order(np.arange(3))
+            ok = permutation_pack(state, rank, np.arange(2), window=1,
+                                  choose_pack=cp)
+            results.append((ok, state.assignment.tolist()))
+        assert results[0] == results[1]
+
+    def test_fails_when_infeasible(self):
+        inst = make_instance(
+            [(1, 0.5, 0.5)],
+            [([0.3, 0.4], [0.3, 0.4], [0.0, 0.0], [0.0, 0.0])] * 2)
+        state = PackingState(inst, 0.0)
+        rank = rank_from_order(np.arange(2))
+        assert not permutation_pack(state, rank, np.arange(1))
+
+
+class TestRunStrategy:
+    @pytest.mark.parametrize("packer", ["FF", "BF", "PP", "CP"])
+    def test_all_packers_solve_simple_instance(self, packer):
+        strat = VPStrategy(
+            packer, SortStrategy(MAX, descending=True),
+            bin_sort=NONE_SORT if packer == "BF" else SortStrategy(SUM),
+            hetero=True)
+        placement = run_strategy(strat, simple_instance(), 0.0)
+        assert placement is not None
+        assert (placement >= 0).all()
+
+    def test_placements_respect_capacity(self):
+        inst = simple_instance()
+        strat = VPStrategy("FF", SortStrategy(MAX, descending=True))
+        placement = run_strategy(strat, inst, 0.0)
+        from repro.core import Allocation
+        Allocation.uniform(inst, placement, 0.0).validate()
+
+    def test_infeasible_yield_returns_none(self):
+        # At yield 1.0 the three services need 0.4+needs... make needs big.
+        inst = make_instance(
+            [(2, 0.5, 1.0)],
+            [([0.2, 0.2], [0.4, 0.2], [0.2, 0.0], [0.8, 0.0])] * 2)
+        strat = VPStrategy("FF", SortStrategy(MAX, descending=True))
+        # req agg CPU = 0.8 fits; at y=1: 0.4+0.8=1.2 each, 2.4 total > 1.0.
+        assert run_strategy(strat, inst, 0.0) is not None
+        assert run_strategy(strat, inst, 1.0) is None
+
+    def test_probe_context_reuse_matches_fresh_runs(self):
+        inst = simple_instance()
+        strategies = [
+            VPStrategy("FF", SortStrategy(MAX, descending=True)),
+            VPStrategy("BF", SortStrategy(SUM)),
+            VPStrategy("PP", NONE_SORT),
+        ]
+        ctx = ProbeContext(inst, 0.0)
+        for strat in strategies:
+            shared = ctx.run(strat)
+            fresh = run_strategy(strat, inst, 0.0)
+            np.testing.assert_array_equal(shared, fresh)

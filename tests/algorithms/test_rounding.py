@@ -1,0 +1,130 @@
+"""Tests for RRND / RRNZ randomized rounding."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.rounding import round_probabilities, rrnd, rrnz
+from repro.core import Node, ProblemInstance, Service
+
+
+def figure1_instance():
+    return ProblemInstance(
+        [Node.multicore(4, 0.8, 1.0), Node.multicore(2, 1.0, 0.5)],
+        [Service.from_vectors([0.5, 0.5], [1.0, 0.5],
+                              [0.5, 0.0], [1.0, 0.0])])
+
+
+def spread_instance(seed=0, hosts=4, services=8):
+    rng = np.random.default_rng(seed)
+    nodes = [Node.multicore(4, rng.uniform(0.1, 0.3), rng.uniform(0.4, 1.0))
+             for _ in range(hosts)]
+    svcs = [Service.from_vectors(
+        [0.01, m := rng.uniform(0.02, 0.1)], [rng.uniform(0.02, 0.1), m],
+        [0.02, 0.0], [rng.uniform(0.05, 0.2), 0.0]) for _ in range(services)]
+    return ProblemInstance(nodes, svcs)
+
+
+class TestRoundProbabilities:
+    def test_deterministic_distribution(self):
+        inst = figure1_instance()
+        probs = np.array([[0.0, 1.0]])
+        placement = round_probabilities(inst, probs,
+                                        np.random.default_rng(0))
+        assert placement.tolist() == [1]
+
+    def test_retry_after_infeasible_draw(self):
+        # Probability mass on a node whose memory is too small for two
+        # services; the second draw must relocate.
+        nodes = [Node.multicore(2, 1.0, 0.5), Node.multicore(2, 1.0, 1.0)]
+        svc = Service.from_vectors([0.1, 0.4], [0.1, 0.4],
+                                   [0.0, 0.0], [0.0, 0.0])
+        inst = ProblemInstance(nodes, [svc, svc])
+        probs = np.array([[1.0, 0.0], [0.99, 0.01]])
+        placement = round_probabilities(inst, probs,
+                                        np.random.default_rng(0))
+        assert placement is not None
+        assert placement[0] == 0
+        assert placement[1] == 1  # forced relocation
+
+    def test_exhausted_support_fails(self):
+        nodes = [Node.multicore(2, 1.0, 0.5)]
+        svc = Service.from_vectors([0.1, 0.4], [0.1, 0.4],
+                                   [0.0, 0.0], [0.0, 0.0])
+        inst = ProblemInstance(nodes, [svc, svc])
+        probs = np.ones((2, 1))
+        assert round_probabilities(inst, probs,
+                                   np.random.default_rng(0)) is None
+
+    def test_zero_row_fails(self):
+        inst = figure1_instance()
+        probs = np.zeros((1, 2))
+        assert round_probabilities(inst, probs,
+                                   np.random.default_rng(0)) is None
+
+
+class TestRRND:
+    def test_solves_figure1_optimally(self):
+        # The relaxed LP concentrates on node B; rounding must follow.
+        alloc = rrnd()(figure1_instance(), rng=np.random.default_rng(1))
+        assert alloc is not None
+        alloc.validate()
+        assert alloc.minimum_yield() == pytest.approx(1.0, abs=1e-6)
+
+    def test_valid_on_random_instances(self):
+        algo = rrnd()
+        for seed in range(3):
+            alloc = algo(spread_instance(seed), rng=np.random.default_rng(seed))
+            if alloc is not None:
+                alloc.validate()
+
+    def test_infeasible_instance_returns_none(self):
+        inst = ProblemInstance(
+            [Node.multicore(1, 0.5, 0.5)],
+            [Service.from_vectors([0.9, 0.1], [0.9, 0.1],
+                                  [0.0, 0.0], [0.0, 0.0])])
+        assert rrnd()(inst, rng=np.random.default_rng(0)) is None
+
+    def test_name_and_stochastic_flag(self):
+        algo = rrnd()
+        assert algo.name == "RRND"
+        assert algo.stochastic
+
+
+class TestRRNZ:
+    def test_solves_figure1(self):
+        alloc = rrnz()(figure1_instance(), rng=np.random.default_rng(1))
+        assert alloc is not None
+        alloc.validate()
+
+    def test_succeeds_where_rrnd_can_fail(self):
+        """RRNZ has support everywhere feasible, so over many seeds its
+        success count is at least RRND's on a tight instance."""
+        inst = tight_instance()
+        rrnd_algo, rrnz_algo = rrnd(), rrnz()
+        rrnd_ok = sum(
+            rrnd_algo(inst, rng=np.random.default_rng(s)) is not None
+            for s in range(10))
+        rrnz_ok = sum(
+            rrnz_algo(inst, rng=np.random.default_rng(s)) is not None
+            for s in range(10))
+        assert rrnz_ok >= rrnd_ok
+
+    def test_epsilon_zero_matches_rrnd_distribution(self):
+        inst = figure1_instance()
+        a1 = rrnz(epsilon=0.0)(inst, rng=np.random.default_rng(5))
+        a2 = rrnd()(inst, rng=np.random.default_rng(5))
+        assert (a1 is None) == (a2 is None)
+        if a1 is not None:
+            np.testing.assert_array_equal(a1.placement, a2.placement)
+
+    def test_name(self):
+        assert rrnz().name == "RRNZ"
+
+
+def tight_instance():
+    """Two nodes with just enough memory; fractional LP rows can
+    concentrate on splits that fail integrally."""
+    nodes = [Node.multicore(2, 0.5, 0.30), Node.multicore(2, 0.5, 0.30)]
+    svc = Service.from_vectors([0.05, 0.15], [0.1, 0.15],
+                               [0.05, 0.0], [0.2, 0.0])
+    return ProblemInstance(nodes, [svc] * 3)

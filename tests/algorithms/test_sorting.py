@@ -1,0 +1,106 @@
+"""Tests for vector sort metrics and ordering strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.algorithms.vector_packing.sorting import (
+    ALL_SORTS,
+    MAX,
+    MAXDIFFERENCE,
+    MAXRATIO,
+    NONE_SORT,
+    SUM,
+    LEX,
+    SortStrategy,
+    metric_values,
+    order_indices,
+)
+
+VECS = np.array([
+    [0.5, 0.1],
+    [0.3, 0.3],
+    [0.9, 0.0],
+    [0.2, 0.8],
+])
+
+
+class TestMetricValues:
+    def test_max(self):
+        np.testing.assert_allclose(metric_values(VECS, MAX),
+                                   [0.5, 0.3, 0.9, 0.8])
+
+    def test_sum(self):
+        np.testing.assert_allclose(metric_values(VECS, SUM),
+                                   [0.6, 0.6, 0.9, 1.0])
+
+    def test_maxdifference(self):
+        np.testing.assert_allclose(metric_values(VECS, MAXDIFFERENCE),
+                                   [0.4, 0.0, 0.9, 0.6])
+
+    def test_maxratio(self):
+        vals = metric_values(VECS, MAXRATIO)
+        assert vals[0] == pytest.approx(5.0)
+        assert vals[1] == pytest.approx(1.0)
+        assert vals[2] == np.inf  # zero min, positive max
+        assert vals[3] == pytest.approx(4.0)
+
+    def test_maxratio_zero_vector_is_one(self):
+        vals = metric_values(np.zeros((1, 3)), MAXRATIO)
+        assert vals[0] == 1.0
+
+    def test_lex_has_no_scalar(self):
+        with pytest.raises(ValueError):
+            metric_values(VECS, LEX)
+
+
+class TestOrderIndices:
+    def test_none_keeps_natural_order(self):
+        np.testing.assert_array_equal(order_indices(VECS, NONE_SORT),
+                                      np.arange(4))
+
+    def test_ascending_max(self):
+        order = order_indices(VECS, SortStrategy(MAX))
+        assert order.tolist() == [1, 0, 3, 2]
+
+    def test_descending_max(self):
+        order = order_indices(VECS, SortStrategy(MAX, descending=True))
+        assert order.tolist() == [2, 3, 0, 1]
+
+    def test_lex_ascending_dim0_primary(self):
+        order = order_indices(VECS, SortStrategy(LEX))
+        # By dim 0: 0.2 < 0.3 < 0.5 < 0.9
+        assert order.tolist() == [3, 1, 0, 2]
+
+    def test_lex_breaks_ties_on_later_dims(self):
+        vecs = np.array([[0.5, 0.9], [0.5, 0.1], [0.1, 0.5]])
+        order = order_indices(vecs, SortStrategy(LEX))
+        assert order.tolist() == [2, 1, 0]
+
+    def test_stability_on_ties(self):
+        vecs = np.array([[0.5, 0.5], [0.5, 0.5], [0.1, 0.1]])
+        order = order_indices(vecs, SortStrategy(SUM))
+        # Equal elements keep natural order.
+        assert order.tolist() == [2, 0, 1]
+
+    def test_all_sorts_enumeration_is_11(self):
+        assert len(ALL_SORTS) == 11
+        assert len({s.name for s in ALL_SORTS}) == 11
+
+    @given(arrays(np.float64, (7, 3),
+                  elements=st.floats(min_value=0, max_value=100)))
+    def test_every_strategy_returns_a_permutation(self, vecs):
+        for strat in ALL_SORTS:
+            order = order_indices(vecs, strat)
+            assert sorted(order.tolist()) == list(range(7))
+
+    @given(arrays(np.float64, (9, 2),
+                  elements=st.floats(min_value=0, max_value=10)))
+    def test_descending_reverses_scalar_ranking(self, vecs):
+        for metric in (MAX, SUM, MAXDIFFERENCE):
+            asc = order_indices(vecs, SortStrategy(metric))
+            desc = order_indices(vecs, SortStrategy(metric, descending=True))
+            vals = metric_values(vecs, metric)
+            assert (np.diff(vals[asc]) >= -1e-12).all()
+            assert (np.diff(vals[desc]) <= 1e-12).all()

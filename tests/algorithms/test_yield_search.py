@@ -1,0 +1,111 @@
+"""Focused tests for the binary-search yield driver (§3.5).
+
+The driver must be robust to the quirks of heuristic feasibility oracles:
+they are not monotone in the yield, can fail at yield 0, and may succeed
+immediately at the capacity bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.yield_search import (
+    DEFAULT_TOLERANCE,
+    binary_search_max_yield,
+)
+from repro.core import Node, ProblemInstance, Service
+
+
+def shared_node_instance():
+    # Exact optimum y = 0.5: 2*(0.5 + y) <= 2.0.
+    return ProblemInstance(
+        [Node.multicore(4, 0.5, 1.0)],
+        [Service.from_vectors([0.1, 0.1], [0.5, 0.1],
+                              [0.1, 0.0], [1.0, 0.0])] * 2)
+
+
+def oracle_packer(threshold):
+    """Ideal oracle: feasible iff y <= threshold."""
+
+    def pack(instance, y):
+        if y <= threshold:
+            return np.zeros(instance.num_services, dtype=np.int64)
+        return None
+
+    return pack
+
+
+class TestDriverMechanics:
+    def test_converges_to_oracle_threshold(self):
+        inst = shared_node_instance()
+        for target in (0.123, 0.4999, 0.5):
+            alloc = binary_search_max_yield(
+                inst, oracle_packer(target), improve=False)
+            assert alloc.minimum_yield() == pytest.approx(
+                target, abs=DEFAULT_TOLERANCE * 1.01)
+
+    def test_upper_bound_shortcut(self):
+        """When the capacity bound itself is feasible the driver returns
+        after a single probe at that bound."""
+        inst = shared_node_instance()
+        calls = []
+
+        def pack(instance, y):
+            calls.append(y)
+            return np.zeros(instance.num_services, dtype=np.int64)
+
+        alloc = binary_search_max_yield(inst, pack, improve=False)
+        assert len(calls) == 1
+        assert calls[0] == pytest.approx(inst.yield_upper_bound())
+        assert alloc.minimum_yield() == pytest.approx(0.5)  # (2-1)/2
+
+    def test_failure_at_zero_returns_none(self):
+        inst = shared_node_instance()
+        assert binary_search_max_yield(inst, lambda i, y: None) is None
+
+    def test_non_monotone_oracle_still_certifies_a_success(self):
+        """A flaky packer that fails on a band of yields: whatever the
+        driver returns must be a yield the packer actually certified."""
+        inst = shared_node_instance()
+        certified = []
+
+        def flaky(instance, y):
+            # Fails in (0.2, 0.3) but succeeds up to 0.4 otherwise.
+            if 0.2 < y < 0.3 or y > 0.4:
+                return None
+            certified.append(y)
+            return np.zeros(instance.num_services, dtype=np.int64)
+
+        alloc = binary_search_max_yield(inst, flaky, improve=False)
+        assert alloc is not None
+        assert any(abs(alloc.minimum_yield() - y) < 1e-12
+                   for y in certified)
+
+    def test_tolerance_bound_on_optimality_gap(self):
+        inst = shared_node_instance()
+        for tol in (0.05, 0.01, 1e-3):
+            alloc = binary_search_max_yield(
+                inst, oracle_packer(0.37), tolerance=tol, improve=False)
+            assert 0.37 - tol <= alloc.minimum_yield() <= 0.37 + 1e-12
+
+    def test_improve_flag_applies_node_closed_form(self):
+        inst = shared_node_instance()
+        raw = binary_search_max_yield(inst, oracle_packer(0.1),
+                                      improve=False)
+        improved = binary_search_max_yield(inst, oracle_packer(0.1),
+                                           improve=True)
+        # The closed form lifts the certified 0.1 to the true node max-min.
+        assert raw.minimum_yield() == pytest.approx(0.1, abs=1e-4)
+        assert improved.minimum_yield() == pytest.approx(0.5, abs=1e-6)
+
+    def test_zero_upper_bound_instance(self):
+        """Needs saturating capacity at yield 0: bound is 0, driver must
+        go through the y=0 path."""
+        inst = ProblemInstance(
+            [Node.multicore(4, 0.5, 1.0)],
+            [Service.from_vectors([0.1, 0.1], [1.0, 0.1],
+                                  [0.1, 0.0], [1.0, 0.0])] * 2)
+        assert inst.yield_upper_bound() == 0.0
+        alloc = binary_search_max_yield(
+            inst, oracle_packer(1.0), improve=False)
+        assert alloc is not None
+        assert alloc.minimum_yield() == 0.0

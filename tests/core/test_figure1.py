@@ -1,0 +1,74 @@
+"""Reproduction of the paper's Figure 1 worked example (§2).
+
+Two nodes, one service:
+
+* Node A: 4 cores of elementary CPU capacity 0.8 (aggregate 3.2), memory 1.0.
+* Node B: 2 cores of elementary CPU capacity 1.0 (aggregate 2.0), memory 0.5.
+* Service: CPU requirement (elem 0.5, agg 1.0), memory requirement 0.5;
+  CPU need (elem 0.5, agg 1.0), memory need 0.
+
+The paper derives: yield 0.6 on Node A (allocation CPU 0.8 elem / 1.6 agg)
+and yield 1.0 on Node B (allocation CPU 1.0 elem / 2.0 agg), so an optimal
+placement uses Node B.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, Node, ProblemInstance, Service
+from repro.core.allocation import max_min_yield_on_node
+
+
+@pytest.fixture()
+def figure1():
+    node_a = Node.multicore(4, 0.8, 1.0, name="A")
+    node_b = Node.multicore(2, 1.0, 0.5, name="B")
+    service = Service.from_vectors(
+        req_elementary=[0.5, 0.5], req_aggregate=[1.0, 0.5],
+        need_elementary=[0.5, 0.0], need_aggregate=[1.0, 0.0],
+        name="figure1-service")
+    return ProblemInstance([node_a, node_b], [service])
+
+
+def node_yield(inst, h):
+    sv = inst.services
+    return max_min_yield_on_node(
+        inst.nodes.elementary[h], inst.nodes.aggregate[h],
+        sv.req_elem, sv.req_agg, sv.need_elem, sv.need_agg)
+
+
+def test_node_a_max_yield_is_0_6(figure1):
+    assert node_yield(figure1, 0) == pytest.approx(0.6)
+
+
+def test_node_b_max_yield_is_1_0(figure1):
+    assert node_yield(figure1, 1) == pytest.approx(1.0)
+
+
+def test_node_a_allocation_vectors_match_figure(figure1):
+    """At yield 0.6 on Node A the granted allocation is CPU 0.8/1.6, RAM 0.5."""
+    svc = figure1.services.service(0)
+    alloc = svc.allocation_at_yield(0.6)
+    np.testing.assert_allclose(alloc.elementary, [0.8, 0.5])
+    np.testing.assert_allclose(alloc.aggregate, [1.6, 0.5])
+
+
+def test_node_b_allocation_vectors_match_figure(figure1):
+    """At yield 1.0 on Node B the granted allocation is CPU 1.0/2.0, RAM 0.5."""
+    svc = figure1.services.service(0)
+    alloc = svc.allocation_at_yield(1.0)
+    np.testing.assert_allclose(alloc.elementary, [1.0, 0.5])
+    np.testing.assert_allclose(alloc.aggregate, [2.0, 0.5])
+
+
+def test_allocations_validate(figure1):
+    Allocation.uniform(figure1, [0], 0.6).validate()
+    Allocation.uniform(figure1, [1], 1.0).validate()
+
+
+def test_yield_above_binding_constraint_is_invalid(figure1):
+    assert not Allocation.uniform(figure1, [0], 0.6 + 1e-6).is_valid()
+
+
+def test_optimal_placement_is_node_b(figure1):
+    assert node_yield(figure1, 1) > node_yield(figure1, 0)

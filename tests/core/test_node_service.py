@@ -1,0 +1,178 @@
+"""Tests for Node/NodeArray and Service/ServiceArray."""
+
+import numpy as np
+import pytest
+
+from repro.core import Node, NodeArray, Service, ServiceArray, VectorPair
+from repro.core.exceptions import (
+    InvalidCapacityError,
+    InvalidServiceError,
+)
+
+
+def make_service(req_e=(0.5, 0.5), req_a=(1.0, 0.5),
+                 need_e=(0.5, 0.0), need_a=(1.0, 0.0), name=""):
+    return Service.from_vectors(req_e, req_a, need_e, need_a, name=name)
+
+
+class TestNode:
+    def test_from_vectors(self):
+        n = Node.from_vectors([0.8, 1.0], [3.2, 1.0], name="A")
+        assert n.dims == 2
+        assert n.name == "A"
+        assert n.elementary.tolist() == [0.8, 1.0]
+        assert n.aggregate.tolist() == [3.2, 1.0]
+
+    def test_multicore_quad(self):
+        n = Node.multicore(cores=4, per_core_cpu=0.8, memory=1.0)
+        assert n.elementary.tolist() == [0.8, 1.0]
+        assert n.aggregate.tolist() == pytest.approx([3.2, 1.0])
+
+    def test_multicore_memory_pools(self):
+        n = Node.multicore(cores=2, per_core_cpu=1.0, memory=0.5)
+        # Memory has no elementary/aggregate distinction.
+        assert n.elementary[1] == n.aggregate[1] == 0.5
+
+    def test_multicore_zero_cores_rejected(self):
+        with pytest.raises(InvalidCapacityError):
+            Node.multicore(cores=0, per_core_cpu=1.0, memory=0.5)
+
+    def test_aggregate_below_elementary_rejected(self):
+        with pytest.raises(InvalidCapacityError):
+            Node.from_vectors([1.0, 1.0], [0.5, 1.0])
+
+
+class TestNodeArray:
+    def test_stacks_capacities(self):
+        arr = NodeArray([
+            Node.multicore(4, 0.8, 1.0, name="A"),
+            Node.multicore(2, 1.0, 0.5, name="B"),
+        ])
+        assert len(arr) == 2
+        assert arr.dims == 2
+        np.testing.assert_allclose(arr.elementary, [[0.8, 1.0], [1.0, 0.5]])
+        np.testing.assert_allclose(arr.aggregate, [[3.2, 1.0], [2.0, 0.5]])
+        assert arr.names == ("A", "B")
+
+    def test_arrays_read_only(self):
+        arr = NodeArray([Node.multicore(4, 0.8, 1.0)])
+        with pytest.raises(ValueError):
+            arr.aggregate[0, 0] = 9.0
+
+    def test_round_trip_node(self):
+        arr = NodeArray([Node.multicore(4, 0.8, 1.0, name="A")])
+        n = arr.node(0)
+        assert n.name == "A"
+        assert n.aggregate.tolist() == pytest.approx([3.2, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidCapacityError):
+            NodeArray([])
+
+    def test_mixed_dims_rejected(self):
+        a = Node.from_vectors([1.0], [2.0])
+        b = Node.from_vectors([1.0, 1.0], [2.0, 1.0])
+        with pytest.raises(InvalidCapacityError):
+            NodeArray([a, b])
+
+
+class TestService:
+    def test_from_vectors(self):
+        s = make_service(name="svc")
+        assert s.dims == 2
+        assert s.name == "svc"
+        assert s.requirements.aggregate.tolist() == [1.0, 0.5]
+        assert s.needs.aggregate.tolist() == [1.0, 0.0]
+
+    def test_mismatched_req_need_dims_rejected(self):
+        req = VectorPair([0.5], [1.0], require_dominance=False)
+        need = VectorPair([0.5, 0.0], [1.0, 0.0], require_dominance=False)
+        with pytest.raises(InvalidServiceError):
+            Service(req, need)
+
+    def test_allocation_at_yield_zero_is_requirements(self):
+        s = make_service()
+        alloc = s.allocation_at_yield(0.0)
+        assert alloc.elementary.tolist() == [0.5, 0.5]
+        assert alloc.aggregate.tolist() == [1.0, 0.5]
+
+    def test_allocation_at_yield_one_is_req_plus_need(self):
+        s = make_service()
+        alloc = s.allocation_at_yield(1.0)
+        assert alloc.elementary.tolist() == [1.0, 0.5]
+        assert alloc.aggregate.tolist() == [2.0, 0.5]
+
+    def test_allocation_interpolates_linearly(self):
+        s = make_service()
+        alloc = s.allocation_at_yield(0.6)
+        assert alloc.elementary.tolist() == pytest.approx([0.8, 0.5])
+        assert alloc.aggregate.tolist() == pytest.approx([1.6, 0.5])
+
+    def test_yield_out_of_range_rejected(self):
+        s = make_service()
+        with pytest.raises(InvalidServiceError):
+            s.allocation_at_yield(1.5)
+        with pytest.raises(InvalidServiceError):
+            s.allocation_at_yield(-0.1)
+
+
+class TestServiceArray:
+    def test_stacks_services(self):
+        arr = ServiceArray([make_service(), make_service(req_a=(0.8, 0.2))])
+        assert len(arr) == 2
+        np.testing.assert_allclose(arr.req_agg, [[1.0, 0.5], [0.8, 0.2]])
+
+    def test_from_arrays(self):
+        arr = ServiceArray.from_arrays(
+            req_elem=np.full((3, 2), 0.1),
+            req_agg=np.full((3, 2), 0.2),
+            need_elem=np.full((3, 2), 0.3),
+            need_agg=np.full((3, 2), 0.4),
+        )
+        assert len(arr) == 3
+        assert arr.dims == 2
+        assert arr.names == ("service-0", "service-1", "service-2")
+
+    def test_from_arrays_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidServiceError):
+            ServiceArray.from_arrays(
+                req_elem=np.zeros((3, 2)),
+                req_agg=np.zeros((3, 2)),
+                need_elem=np.zeros((2, 2)),
+                need_agg=np.zeros((3, 2)),
+            )
+
+    def test_from_arrays_negative_rejected(self):
+        bad = np.zeros((2, 2))
+        bad[0, 0] = -1.0
+        with pytest.raises(InvalidServiceError):
+            ServiceArray.from_arrays(bad, np.zeros((2, 2)),
+                                     np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_from_arrays_names(self):
+        arr = ServiceArray.from_arrays(
+            np.zeros((2, 1)), np.zeros((2, 1)),
+            np.zeros((2, 1)), np.zeros((2, 1)), names=["a", "b"])
+        assert arr.names == ("a", "b")
+
+    def test_round_trip_service(self):
+        arr = ServiceArray([make_service(name="x")])
+        s = arr.service(0)
+        assert s.name == "x"
+        assert s.requirements.aggregate.tolist() == [1.0, 0.5]
+
+    def test_allocation_at_yield_scalar(self):
+        arr = ServiceArray([make_service(), make_service()])
+        elem, agg = arr.allocation_at_yield(0.5)
+        np.testing.assert_allclose(elem, [[0.75, 0.5], [0.75, 0.5]])
+        np.testing.assert_allclose(agg, [[1.5, 0.5], [1.5, 0.5]])
+
+    def test_allocation_at_yield_vector(self):
+        arr = ServiceArray([make_service(), make_service()])
+        elem, agg = arr.allocation_at_yield(np.array([0.0, 1.0]))
+        np.testing.assert_allclose(agg[0], [1.0, 0.5])
+        np.testing.assert_allclose(agg[1], [2.0, 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidServiceError):
+            ServiceArray([])

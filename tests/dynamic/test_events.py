@@ -1,0 +1,65 @@
+"""Tests for dynamic workload trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import WorkloadTrace, generate_trace
+from repro.dynamic.events import ServiceEvent
+
+
+class TestServiceEvent:
+    def test_active_interval_is_half_open(self):
+        e = ServiceEvent(arrival=3, departure=6, descriptor_index=0)
+        assert not e.active_at(2)
+        assert e.active_at(3)
+        assert e.active_at(5)
+        assert not e.active_at(6)
+
+
+class TestGenerateTrace:
+    def test_basic_shape(self):
+        trace = generate_trace(horizon=20, mean_arrivals_per_step=2.0,
+                               mean_lifetime_steps=5.0, rng=0)
+        assert trace.horizon == 20
+        assert len(trace.events) == len(trace.services)
+        for e in trace.events:
+            assert 0 <= e.arrival < 20
+            assert e.arrival < e.departure <= 20
+
+    def test_initial_services_present_at_t0(self):
+        trace = generate_trace(horizon=10, mean_arrivals_per_step=0.5,
+                               mean_lifetime_steps=4.0, rng=1,
+                               initial_services=5)
+        active0 = trace.active_indices(0)
+        assert active0.size >= 5
+
+    def test_active_counts_evolve(self):
+        trace = generate_trace(horizon=30, mean_arrivals_per_step=3.0,
+                               mean_lifetime_steps=6.0, rng=2)
+        counts = [trace.active_indices(t).size for t in range(30)]
+        assert max(counts) > 0
+        # Flow conservation: active(t+1) = active(t) + arrivals - departures.
+        for t in range(29):
+            expected = (counts[t] + trace.arrivals_at(t + 1)
+                        - trace.departures_at(t + 1))
+            assert counts[t + 1] == expected
+
+    def test_mean_lifetime_roughly_matches(self):
+        trace = generate_trace(horizon=2000, mean_arrivals_per_step=1.0,
+                               mean_lifetime_steps=8.0, rng=3)
+        lifetimes = [e.departure - e.arrival for e in trace.events
+                     if e.departure < trace.horizon]  # uncensored only
+        assert np.mean(lifetimes) == pytest.approx(8.0, rel=0.2)
+
+    def test_deterministic(self):
+        a = generate_trace(10, 2.0, 4.0, rng=9)
+        b = generate_trace(10, 2.0, 4.0, rng=9)
+        assert a.events == b.events
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_trace(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            generate_trace(10, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            generate_trace(5, 0.0, 5.0, rng=0, initial_services=0)

@@ -1,0 +1,103 @@
+"""Tests for bootstrap statistics and win/loss decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.analysis import (
+    MeanCI,
+    bootstrap_mean_ci,
+    paired_difference_ci,
+    win_loss_tie,
+)
+
+
+class TestBootstrapMeanCI:
+    def test_interval_brackets_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0.5, 0.1, size=200).tolist()
+        ci = bootstrap_mean_ci(data, rng=1)
+        assert ci.lower <= ci.mean <= ci.upper
+        assert ci.contains(0.5)
+
+    def test_failures_excluded(self):
+        ci = bootstrap_mean_ci([0.4, None, 0.6, None], rng=0)
+        assert ci.mean == pytest.approx(0.5)
+        assert ci.samples == 2
+
+    def test_single_sample_degenerates(self):
+        ci = bootstrap_mean_ci([0.7], rng=0)
+        assert ci.mean == ci.lower == ci.upper == 0.7
+
+    def test_all_failures_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([None, None])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([0.5], confidence=1.0)
+
+    def test_deterministic_with_seed(self):
+        data = [0.1, 0.5, 0.9, 0.4]
+        a = bootstrap_mean_ci(data, rng=7)
+        b = bootstrap_mean_ci(data, rng=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=2, max_size=30),
+           st.sampled_from([0.8, 0.95]))
+    def test_interval_widens_with_confidence(self, data, confidence):
+        narrow = bootstrap_mean_ci(data, confidence=confidence, rng=0)
+        wide = bootstrap_mean_ci(data, confidence=0.99, rng=0)
+        assert wide.upper - wide.lower >= narrow.upper - narrow.lower - 1e-9
+
+
+class TestPairedDifferenceCI:
+    def test_clear_gap_excludes_zero(self):
+        a = [0.8 + 0.01 * i % 3 * 0.01 for i in range(40)]
+        b = [0.5 + 0.01 * i % 3 * 0.01 for i in range(40)]
+        ci = paired_difference_ci(a, b, rng=0)
+        assert ci.lower > 0.0
+
+    def test_identical_series_centered_on_zero(self):
+        a = [0.5, 0.6, 0.7, 0.4]
+        ci = paired_difference_ci(a, a, rng=0)
+        assert ci.mean == 0.0
+        assert ci.contains(0.0)
+
+    def test_only_common_instances_used(self):
+        a = [0.9, None, 0.9]
+        b = [0.5, 0.1, None]
+        ci = paired_difference_ci(a, b, rng=0)
+        assert ci.samples == 1
+        assert ci.mean == pytest.approx(0.4)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            paired_difference_ci([0.5], [0.5, 0.6])
+
+    def test_no_common_rejected(self):
+        with pytest.raises(ValueError):
+            paired_difference_ci([None, 0.5], [0.5, None])
+
+
+class TestWinLossTie:
+    def test_paper_margin(self):
+        a = [0.500, 0.5021, 0.510, None]
+        b = [0.500, 0.5000, 0.520, 0.4]
+        wins, losses, ties = win_loss_tie(a, b)
+        assert (wins, losses, ties) == (1, 1, 1)
+
+    def test_custom_margin(self):
+        a, b = [0.51], [0.50]
+        assert win_loss_tie(a, b, margin=0.05) == (0, 0, 1)
+        assert win_loss_tie(a, b, margin=0.001) == (1, 0, 0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(0, 1, 30).tolist()
+        b = rng.uniform(0, 1, 30).tolist()
+        wa, la, ta = win_loss_tie(a, b)
+        wb, lb, tb = win_loss_tie(b, a)
+        assert (wa, la, ta) == (lb, wb, tb)

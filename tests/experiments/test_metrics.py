@@ -1,0 +1,85 @@
+"""Tests for the Y_{A,B} / S_{A,B} pairwise metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments.metrics import (
+    average_yield,
+    pairwise_comparison,
+    success_rate,
+)
+
+
+class TestPairwiseComparison:
+    def test_yield_gain_on_common_instances(self):
+        a = [0.6, 0.8, None]
+        b = [0.5, 0.4, 0.9]
+        cmp = pairwise_comparison(a, b)
+        # (0.6-0.5)/0.5 = +20%, (0.8-0.4)/0.4 = +100% -> avg +60%.
+        assert cmp.yield_gain_pct == pytest.approx(60.0)
+        assert cmp.both_succeed == 2
+
+    def test_success_gain(self):
+        a = [0.5, None, 0.5, None]
+        b = [None, 0.5, 0.5, None]
+        cmp = pairwise_comparison(a, b)
+        # A-only on 1 instance, B-only on 1: net 0 over 4.
+        assert cmp.success_gain_pct == 0.0
+        assert cmp.only_a == 1
+        assert cmp.only_b == 1
+
+    def test_asymmetric_success(self):
+        a = [0.5, 0.5, 0.5, None]
+        b = [0.5, None, None, None]
+        cmp = pairwise_comparison(a, b)
+        assert cmp.success_gain_pct == pytest.approx(50.0)
+
+    def test_antisymmetry_of_success(self):
+        a = [0.5, None, 0.7, 0.2]
+        b = [0.4, 0.1, None, 0.3]
+        ab = pairwise_comparison(a, b)
+        ba = pairwise_comparison(b, a)
+        assert ab.success_gain_pct == pytest.approx(-ba.success_gain_pct)
+
+    def test_no_common_instances_gives_zero_yield_gain(self):
+        cmp = pairwise_comparison([0.5, None], [None, 0.5])
+        assert cmp.yield_gain_pct == 0.0
+        assert cmp.both_succeed == 0
+
+    def test_zero_baseline_yield(self):
+        cmp = pairwise_comparison([0.5], [0.0])
+        assert cmp.yield_gain_pct == np.inf
+        cmp = pairwise_comparison([0.0], [0.0])
+        assert cmp.yield_gain_pct == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_comparison([0.5], [0.5, 0.6])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_comparison([], [])
+
+    @given(st.lists(st.one_of(st.none(),
+                              st.floats(min_value=0.01, max_value=1.0)),
+                    min_size=1, max_size=20))
+    def test_self_comparison_is_neutral(self, results):
+        cmp = pairwise_comparison(results, results)
+        assert cmp.yield_gain_pct == 0.0
+        assert cmp.success_gain_pct == 0.0
+
+
+class TestSummaries:
+    def test_success_rate(self):
+        assert success_rate([0.5, None, 0.2, None]) == 0.5
+
+    def test_success_rate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            success_rate([])
+
+    def test_average_yield_ignores_failures(self):
+        assert average_yield([0.4, None, 0.6]) == pytest.approx(0.5)
+
+    def test_average_yield_all_failed(self):
+        assert average_yield([None, None]) == 0.0

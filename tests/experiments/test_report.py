@@ -1,0 +1,64 @@
+"""Tests for the text/CSV report helpers."""
+
+import os
+
+import pytest
+
+from repro.experiments.report import (
+    ensure_dir,
+    format_matrix,
+    format_table,
+    write_csv,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(("name", "value"),
+                            [("a", 1.0), ("long-name", 22.5)],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        # All data rows share the header's width.
+        width = len(lines[1])
+        assert all(len(l) <= width for l in lines[2:])
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(0.123456,)])
+        assert "0.1235" in text
+
+    def test_non_float_cells_passthrough(self):
+        text = format_table(("x",), [("abc",), (7,)])
+        assert "abc" in text
+        assert "7" in text
+
+
+class TestFormatMatrix:
+    def test_cells_positioned(self):
+        text = format_matrix(
+            ["A", "B"], ["A", "B"],
+            {("A", "B"): "(1, 2)", ("B", "A"): "(3, 4)"},
+            title="m")
+        data_lines = text.splitlines()[3:]  # skip title, header, rule
+        row_a = next(l for l in data_lines if l.lstrip().startswith("A"))
+        assert "(1, 2)" in row_a
+        row_b = next(l for l in data_lines if l.lstrip().startswith("B"))
+        assert "(3, 4)" in row_b
+
+    def test_missing_cells_blank(self):
+        text = format_matrix(["A"], ["A"], {})
+        assert "A" in text
+
+
+class TestWriteCsv:
+    def test_creates_parent_and_writes(self, tmp_path):
+        path = os.path.join(tmp_path, "sub", "out.csv")
+        write_csv(path, ("a", "b"), [(1, 2), (3, 4)])
+        with open(path) as fh:
+            content = fh.read().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2"
+
+    def test_ensure_dir_noop_on_empty(self):
+        ensure_dir("")  # must not raise

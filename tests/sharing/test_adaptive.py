@@ -1,0 +1,104 @@
+"""Tests for the adaptive threshold controller and its simulator hook."""
+
+import numpy as np
+import pytest
+
+from repro.sharing.adaptive import AdaptiveThreshold
+
+
+class TestControllerMechanics:
+    def test_initial_value_clamped(self):
+        ctl = AdaptiveThreshold(initial=0.9, max_threshold=0.5)
+        assert ctl.value == 0.5
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(min_threshold=0.6, max_threshold=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(increase_factor=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(decrease_factor=1.0)
+
+    def test_underestimation_raises_threshold(self):
+        ctl = AdaptiveThreshold(initial=0.1)
+        # Promised 0.8, realized 0.4: 50% shortfall >> 10% target.
+        new = ctl.observe(promised_min_yield=0.8, realized_min_yield=0.4)
+        assert new == pytest.approx(0.15)
+
+    def test_increase_from_zero_uses_seed(self):
+        ctl = AdaptiveThreshold(initial=0.0)
+        new = ctl.observe(0.8, 0.2)
+        assert new == pytest.approx(0.03)  # seed 0.02 * 1.5
+
+    def test_kept_promise_decays_threshold(self):
+        ctl = AdaptiveThreshold(initial=0.2)
+        new = ctl.observe(0.8, 0.79)
+        assert new == pytest.approx(0.18)
+
+    def test_decay_snaps_to_floor(self):
+        ctl = AdaptiveThreshold(initial=5e-5 / 0.9)
+        assert ctl.observe(0.5, 0.5) == 0.0
+
+    def test_clamped_at_max(self):
+        ctl = AdaptiveThreshold(initial=0.45, max_threshold=0.5)
+        assert ctl.observe(1.0, 0.0) == 0.5
+
+    def test_zero_promise_counts_as_kept(self):
+        ctl = AdaptiveThreshold(initial=0.2)
+        assert ctl.observe(0.0, 0.0) < 0.2
+
+    def test_negative_yields_rejected(self):
+        ctl = AdaptiveThreshold()
+        with pytest.raises(ValueError):
+            ctl.observe(-0.1, 0.5)
+
+    def test_history_and_reset(self):
+        ctl = AdaptiveThreshold(initial=0.1)
+        ctl.observe(0.8, 0.1)
+        ctl.observe(0.8, 0.8)
+        assert ctl.epochs == 2
+        assert len(ctl.history) == 3
+        ctl.reset()
+        assert ctl.value == 0.1
+        assert ctl.epochs == 0
+
+
+class TestControllerBehaviour:
+    def test_converges_under_persistent_underestimation(self):
+        """Repeated broken promises drive the threshold to its ceiling."""
+        ctl = AdaptiveThreshold(initial=0.0, max_threshold=0.4)
+        for _ in range(20):
+            ctl.observe(0.9, 0.2)
+        assert ctl.value == pytest.approx(0.4)
+
+    def test_relaxes_after_errors_subside(self):
+        ctl = AdaptiveThreshold(initial=0.0)
+        for _ in range(6):
+            ctl.observe(0.9, 0.2)
+        high = ctl.value
+        for _ in range(40):
+            ctl.observe(0.9, 0.89)
+        assert ctl.value < high * 0.05
+        for _ in range(60):  # 0.9^100 ≈ 2.6e-5 < the 1e-4 snap floor
+            ctl.observe(0.9, 0.89)
+        assert ctl.value == 0.0  # fully relaxed
+
+
+class TestSimulatorIntegration:
+    def test_adaptive_run_and_history(self):
+        from repro.algorithms import metahvp_light
+        from repro.dynamic import DynamicSimulator, generate_trace
+        from repro.workloads import generate_platform
+        platform = generate_platform(hosts=8, cov=0.5, rng=11)
+        trace = generate_trace(horizon=12, mean_arrivals_per_step=1.5,
+                               mean_lifetime_steps=6.0, rng=12,
+                               initial_services=4)
+        ctl = AdaptiveThreshold(initial=0.0, max_threshold=0.3)
+        sim = DynamicSimulator(platform, trace, placer=metahvp_light(),
+                               reallocation_period=3, cpu_need_scale=0.05,
+                               max_error=0.3, adaptive=ctl, rng=0)
+        result = sim.run()
+        assert len(result.steps) == trace.horizon
+        # One observation per successful re-allocation epoch.
+        assert ctl.epochs >= 1
+        assert all(0.0 <= v <= 0.3 for v in ctl.history)

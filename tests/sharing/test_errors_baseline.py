@@ -1,0 +1,160 @@
+"""Tests for the error model, threshold mitigation, zero-knowledge baseline
+and the end-to-end actual-yield evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Node, ProblemInstance, Service, ServiceArray
+from repro.sharing import (
+    apply_minimum_threshold,
+    evaluate_actual_yields,
+    perturb_cpu_needs,
+    zero_knowledge_placement,
+)
+
+
+def service_array(cpu_needs, mem=0.05):
+    svcs = [
+        Service.from_vectors([0.01, mem], [0.0, mem],
+                             [n / 4, 0.0], [n, 0.0])
+        for n in cpu_needs
+    ]
+    return ServiceArray(svcs)
+
+
+def platform(nodes=4, cores=4, per_core=0.125, memory=1.0):
+    return [Node.multicore(cores, per_core, memory) for _ in range(nodes)]
+
+
+class TestPerturbCpuNeeds:
+    def test_error_bounded(self):
+        sv = service_array([0.5] * 100)
+        noisy = perturb_cpu_needs(sv, max_error=0.1, rng=0)
+        delta = noisy.need_agg[:, 0] - sv.need_agg[:, 0]
+        assert (np.abs(delta) <= 0.1 + 1e-12).all()
+
+    def test_floor_applied(self):
+        sv = service_array([0.01] * 50)
+        noisy = perturb_cpu_needs(sv, max_error=0.3, rng=0)
+        assert (noisy.need_agg[:, 0] >= 1e-3 - 1e-15).all()
+
+    def test_elementary_proportion_preserved(self):
+        sv = service_array([0.4, 0.8])
+        noisy = perturb_cpu_needs(sv, max_error=0.2, rng=1)
+        old_ratio = sv.need_elem[:, 0] / sv.need_agg[:, 0]
+        new_ratio = noisy.need_elem[:, 0] / noisy.need_agg[:, 0]
+        np.testing.assert_allclose(new_ratio, old_ratio)
+
+    def test_zero_error_is_identity(self):
+        sv = service_array([0.3, 0.6])
+        noisy = perturb_cpu_needs(sv, max_error=0.0, rng=0)
+        np.testing.assert_allclose(noisy.need_agg, sv.need_agg)
+
+    def test_memory_untouched(self):
+        sv = service_array([0.3, 0.6])
+        noisy = perturb_cpu_needs(sv, max_error=0.2, rng=0)
+        np.testing.assert_allclose(noisy.need_agg[:, 1], sv.need_agg[:, 1])
+        np.testing.assert_allclose(noisy.req_agg, sv.req_agg)
+
+    def test_deterministic_with_seed(self):
+        sv = service_array([0.3, 0.6])
+        a = perturb_cpu_needs(sv, 0.2, rng=42)
+        b = perturb_cpu_needs(sv, 0.2, rng=42)
+        np.testing.assert_array_equal(a.need_agg, b.need_agg)
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            perturb_cpu_needs(service_array([0.3]), -0.1)
+
+
+class TestMinimumThreshold:
+    def test_small_estimates_rounded_up(self):
+        sv = service_array([0.05, 0.5])
+        out = apply_minimum_threshold(sv, 0.1)
+        np.testing.assert_allclose(out.need_agg[:, 0], [0.1, 0.5])
+
+    def test_zero_threshold_is_identity(self):
+        sv = service_array([0.05, 0.5])
+        assert apply_minimum_threshold(sv, 0.0) is sv
+
+    def test_elementary_untouched(self):
+        sv = service_array([0.05, 0.5])
+        out = apply_minimum_threshold(sv, 0.3)
+        np.testing.assert_allclose(out.need_elem, sv.need_elem)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            apply_minimum_threshold(service_array([0.3]), -0.1)
+
+
+class TestZeroKnowledgePlacement:
+    def test_spreads_evenly(self):
+        inst = ProblemInstance(platform(nodes=4), service_array([0.1] * 8))
+        placement = zero_knowledge_placement(inst)
+        counts = np.bincount(placement, minlength=4)
+        assert (counts == 2).all()
+
+    def test_respects_memory_requirements(self):
+        nodes = [Node.multicore(4, 0.125, 0.1), Node.multicore(4, 0.125, 1.0)]
+        inst = ProblemInstance(nodes, service_array([0.1] * 3, mem=0.3))
+        placement = zero_knowledge_placement(inst)
+        assert (placement == 1).all()
+
+    def test_fails_when_requirements_do_not_fit(self):
+        nodes = [Node.multicore(1, 0.125, 0.1)]
+        inst = ProblemInstance(nodes, service_array([0.1] * 2, mem=0.08))
+        assert zero_knowledge_placement(inst) is None
+
+    def test_deterministic(self):
+        inst = ProblemInstance(platform(), service_array([0.1] * 6))
+        a = zero_knowledge_placement(inst)
+        b = zero_knowledge_placement(inst)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEvaluateActualYields:
+    def test_perfect_estimates_reach_ideal(self):
+        # One node, two services, needs 0.2 each, fluid capacity
+        # 0.5 - 0 = 0.5 >= 0.4: both reach yield 1 under any policy.
+        inst = ProblemInstance(platform(nodes=1), service_array([0.2, 0.2]))
+        placement = np.zeros(2, dtype=np.int64)
+        for policy in ("ALLOCCAPS", "ALLOCWEIGHTS", "EQUALWEIGHTS"):
+            yields = evaluate_actual_yields(inst, placement, policy)
+            np.testing.assert_allclose(yields, 1.0)
+
+    def test_contention_shares_fairly(self):
+        # Two services needing 0.4 each on 0.5 fluid CPU: equal split.
+        inst = ProblemInstance(platform(nodes=1), service_array([0.4, 0.4]))
+        placement = np.zeros(2, dtype=np.int64)
+        yields = evaluate_actual_yields(inst, placement, "EQUALWEIGHTS")
+        np.testing.assert_allclose(yields, 0.25 / 0.4, atol=1e-6)
+
+    def test_underestimate_hurts_alloccaps_not_equalweights(self):
+        inst_true = ProblemInstance(platform(nodes=1),
+                                    service_array([0.4, 0.1]))
+        # Estimates swap the services' sizes.
+        inst_est = ProblemInstance(platform(nodes=1),
+                                   service_array([0.1, 0.4]))
+        placement = np.zeros(2, dtype=np.int64)
+        caps = evaluate_actual_yields(inst_true, placement, "ALLOCCAPS",
+                                      estimated_instance=inst_est)
+        equal = evaluate_actual_yields(inst_true, placement, "EQUALWEIGHTS",
+                                       estimated_instance=inst_est)
+        assert caps.min() < equal.min()
+
+    def test_elementary_ceiling_respected(self):
+        # Service whose elementary need equals one core: yield cannot
+        # exceed elementary headroom even with abundant aggregate CPU.
+        node = Node.multicore(4, 0.125, 1.0)
+        svc = Service.from_vectors([0.05, 0.05], [0.0, 0.05],
+                                   [0.25, 0.0], [0.25, 0.0])
+        inst = ProblemInstance([node], [svc])
+        yields = evaluate_actual_yields(inst, np.zeros(1, dtype=np.int64),
+                                        "EQUALWEIGHTS")
+        # Elementary headroom = 0.125 - 0.05 = 0.075; cap = 0.075/0.25 = 0.3.
+        assert yields[0] == pytest.approx(0.3)
+
+    def test_unplaced_service_rejected(self):
+        inst = ProblemInstance(platform(nodes=1), service_array([0.2]))
+        with pytest.raises(ValueError):
+            evaluate_actual_yields(inst, np.array([-1]), "EQUALWEIGHTS")

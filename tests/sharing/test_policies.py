@@ -1,0 +1,158 @@
+"""Tests for the ALLOCCAPS / ALLOCWEIGHTS / EQUALWEIGHTS runtime policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sharing.policies import (
+    POLICIES,
+    NodeSharingProblem,
+    alloc_caps,
+    alloc_weights,
+    equal_weights,
+    estimate_based_allocations,
+)
+
+
+def problem(capacity=1.0, est=(0.5, 0.5), true=(0.5, 0.5), max_useful=None):
+    return NodeSharingProblem(
+        capacity=capacity,
+        estimated_needs=np.array(est, dtype=float),
+        true_needs=np.array(true, dtype=float),
+        max_useful=None if max_useful is None else np.array(max_useful, float),
+    )
+
+
+class TestEstimateBasedAllocations:
+    def test_uniform_yield_sizing(self):
+        # capacity 1, estimates sum 2 -> y_hat = 0.5.
+        allocs = estimate_based_allocations(problem(est=(1.5, 0.5)))
+        np.testing.assert_allclose(allocs, [0.75, 0.25])
+
+    def test_slack_capacity_caps_yield_at_one(self):
+        allocs = estimate_based_allocations(problem(est=(0.2, 0.2)))
+        np.testing.assert_allclose(allocs, [0.2, 0.2])
+
+    def test_zero_estimates(self):
+        allocs = estimate_based_allocations(problem(est=(0.0, 0.0)))
+        np.testing.assert_allclose(allocs, 0.0)
+
+
+class TestAllocCaps:
+    def test_perfect_estimates_split_capacity(self):
+        consumed = alloc_caps(problem(est=(1.0, 1.0), true=(1.0, 1.0)))
+        np.testing.assert_allclose(consumed, [0.5, 0.5])
+
+    def test_underestimated_service_starves_at_cap(self):
+        # Service 0's true need is double its estimate: it is capped at
+        # its (too small) allocation while service 1's surplus is wasted.
+        consumed = alloc_caps(problem(est=(0.5, 0.5), true=(1.0, 0.1)))
+        np.testing.assert_allclose(consumed, [0.5, 0.1])
+        # Not work conserving: 0.4 of capacity is wasted.
+        assert consumed.sum() < 1.0 - 0.3
+
+    def test_caps_never_exceed_true_demand(self):
+        consumed = alloc_caps(problem(est=(0.9, 0.1), true=(0.05, 0.05)))
+        np.testing.assert_allclose(consumed, [0.05, 0.05])
+
+
+class TestAllocWeights:
+    def test_reclaims_overestimated_capacity(self):
+        # Same instance where ALLOCCAPS wasted 0.4: ALLOCWEIGHTS hands the
+        # surplus to the underestimated service.
+        consumed = alloc_weights(problem(est=(0.5, 0.5), true=(1.0, 0.1)))
+        np.testing.assert_allclose(consumed, [0.9, 0.1])
+
+    def test_perfect_estimates_match_caps(self):
+        p = problem(est=(1.0, 0.5), true=(1.0, 0.5))
+        np.testing.assert_allclose(alloc_weights(p), alloc_caps(p), atol=1e-9)
+
+    def test_weights_follow_estimates(self):
+        # Both services hungry: estimated sizes set the proportions.
+        consumed = alloc_weights(problem(est=(0.75, 0.25), true=(1.0, 1.0)))
+        np.testing.assert_allclose(consumed, [0.75, 0.25])
+
+
+class TestEqualWeights:
+    def test_ignores_estimates(self):
+        a = equal_weights(problem(est=(0.9, 0.1), true=(1.0, 1.0)))
+        b = equal_weights(problem(est=(0.1, 0.9), true=(1.0, 1.0)))
+        np.testing.assert_allclose(a, b)
+        np.testing.assert_allclose(a, [0.5, 0.5])
+
+    def test_work_conserving(self):
+        consumed = equal_weights(problem(est=(0.5, 0.5), true=(0.2, 1.0)))
+        np.testing.assert_allclose(consumed, [0.2, 0.8])
+
+
+class TestMaxUseful:
+    def test_ceiling_limits_consumption(self):
+        consumed = equal_weights(problem(
+            capacity=2.0, est=(1.0, 1.0), true=(1.5, 1.5),
+            max_useful=(0.5, 1.5)))
+        # Service 0 cannot use more than 0.5; the rest flows to service 1.
+        np.testing.assert_allclose(consumed, [0.5, 1.5])
+
+
+class TestYields:
+    def test_yields_from_consumption(self):
+        p = problem(true=(0.5, 0.25))
+        yields = p.yields_from_consumption(np.array([0.25, 0.25]))
+        np.testing.assert_allclose(yields, [0.5, 1.0])
+
+    def test_zero_need_is_satisfied(self):
+        p = problem(true=(0.0, 0.5))
+        yields = p.yields_from_consumption(np.array([0.0, 0.1]))
+        assert yields[0] == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSharingProblem(1.0, np.ones(2), np.ones(3))
+
+    def test_policy_registry(self):
+        assert set(POLICIES) == {"ALLOCCAPS", "ALLOCWEIGHTS", "EQUALWEIGHTS"}
+
+
+class TestPolicyDominance:
+    """Structural relations between the policies (§6.2's qualitative claims).
+
+    Need magnitudes follow the paper's model: zero or at least the 0.001
+    floor (denormal needs underflow multiplicatively and are not
+    physically meaningful)."""
+
+    needs = arrays(np.float64, 4, elements=st.one_of(
+        st.just(0.0), st.floats(min_value=1e-3, max_value=1.0)))
+
+    @settings(max_examples=150)
+    @given(est=needs, true=needs)
+    def test_allocweights_consumes_at_least_alloccaps_total(self, est, true):
+        """Work conservation: switching caps to weights never reduces total
+        utilization."""
+        p_caps = problem(est=tuple(est), true=tuple(true))
+        p_wts = problem(est=tuple(est), true=tuple(true))
+        assert (alloc_weights(p_wts).sum()
+                >= alloc_caps(p_caps).sum() - 1e-6)
+
+    @settings(max_examples=150)
+    @given(true=needs)
+    def test_perfect_estimates_caps_equals_weights(self, true):
+        """With exact estimates ALLOCCAPS and ALLOCWEIGHTS coincide (the
+        caps are exactly what the weighted scheduler would hand out)."""
+        p = problem(est=tuple(true), true=tuple(true))
+        caps = p.yields_from_consumption(alloc_caps(p)).min()
+        wts = p.yields_from_consumption(alloc_weights(p)).min()
+        assert abs(caps - wts) < 1e-4 + 1e-6
+
+    @settings(max_examples=150)
+    @given(true=needs)
+    def test_equalweights_within_theorem_bound_of_caps(self, true):
+        """EQUALWEIGHTS may lose to the estimate-driven policies even with
+        perfect estimates — but never by more than Theorem 1's ratio
+        (needs <= capacity here, satisfying the model hypothesis)."""
+        from repro.sharing.theory import competitive_ratio_bound
+        p = problem(est=tuple(true), true=tuple(true))
+        caps = p.yields_from_consumption(alloc_caps(p)).min()
+        equal = p.yields_from_consumption(equal_weights(p)).min()
+        bound = competitive_ratio_bound(len(true))
+        assert equal >= bound * caps - 1e-4 - 1e-9

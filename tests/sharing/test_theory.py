@@ -1,0 +1,101 @@
+"""Empirical verification of Theorem 1 (§6.1).
+
+EQUALWEIGHTS is (2J−1)/J²-competitive for single-node single-resource
+min-yield maximization, and the bound is achieved exactly by the instance
+n₁ = 1, n_j = 1/J.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sharing.theory import (
+    competitive_ratio_bound,
+    empirical_ratio,
+    equalweights_min_yield,
+    optimal_min_yield,
+    tight_instance_needs,
+)
+
+
+class TestClosedForms:
+    def test_ratio_values(self):
+        assert competitive_ratio_bound(1) == pytest.approx(1.0)
+        assert competitive_ratio_bound(2) == pytest.approx(3 / 4)
+        assert competitive_ratio_bound(3) == pytest.approx(5 / 9)
+        assert competitive_ratio_bound(10) == pytest.approx(19 / 100)
+
+    def test_ratio_decreases_with_j(self):
+        ratios = [competitive_ratio_bound(j) for j in range(1, 30)]
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_invalid_j(self):
+        with pytest.raises(ValueError):
+            competitive_ratio_bound(0)
+
+    def test_tight_instance_shape(self):
+        needs = tight_instance_needs(5)
+        assert needs[0] == 1.0
+        np.testing.assert_allclose(needs[1:], 0.2)
+
+    def test_optimal_min_yield_closed_form(self):
+        # Σn = 2 on capacity 1 -> y* = 0.5.
+        assert optimal_min_yield(np.array([1.0, 1.0])) == pytest.approx(0.5)
+
+    def test_optimal_capped_at_one(self):
+        assert optimal_min_yield(np.array([0.1, 0.2])) == 1.0
+
+
+class TestTheoremTightness:
+    @pytest.mark.parametrize("J", [1, 2, 3, 5, 8, 20, 100])
+    def test_tight_instance_achieves_exact_ratio(self, J):
+        needs = tight_instance_needs(J)
+        ratio = empirical_ratio(needs)
+        assert ratio == pytest.approx(competitive_ratio_bound(J), rel=1e-9)
+
+    @pytest.mark.parametrize("J", [2, 3, 5, 8])
+    def test_tight_instance_details(self, J):
+        """EQUALWEIGHTS gives the big service exactly 1/J; optimum gives
+        everyone J/(2J−1)."""
+        needs = tight_instance_needs(J)
+        ew = equalweights_min_yield(needs)
+        assert ew == pytest.approx(1.0 / J)
+        opt = optimal_min_yield(needs)
+        assert opt == pytest.approx(J / (2 * J - 1))
+
+
+class TestTheoremBound:
+    """The competitive bound holds on *every* instance satisfying the model
+    hypothesis ``n_j <= capacity`` (needs are relative to a reference
+    machine, so one service never demands more than the whole node)."""
+
+    @settings(max_examples=300)
+    @given(arrays(np.float64, st.integers(min_value=1, max_value=10),
+                  elements=st.floats(min_value=0.0, max_value=1.0)))
+    def test_bound_holds_everywhere(self, needs):
+        J = needs.shape[0]
+        ratio = empirical_ratio(needs)
+        assert ratio >= competitive_ratio_bound(J) - 1e-9
+
+    def test_bound_can_fail_outside_model(self):
+        """Documented counterexample when a need exceeds capacity: the
+        theorem's hypothesis is necessary, not pedantry."""
+        ratio = empirical_ratio(np.array([2.0, 0.5]), capacity=1.0)
+        assert ratio == pytest.approx(0.625)
+        assert ratio < competitive_ratio_bound(2)
+
+    @settings(max_examples=100)
+    @given(arrays(np.float64, st.integers(min_value=1, max_value=10),
+                  elements=st.floats(min_value=0.0, max_value=0.09)))
+    def test_underloaded_instances_are_ratio_one(self, needs):
+        """Total demand below capacity: both schedulers reach yield 1."""
+        assert empirical_ratio(needs) == pytest.approx(1.0)
+
+    @settings(max_examples=100)
+    @given(st.integers(min_value=2, max_value=12),
+           st.floats(min_value=1.0, max_value=5.0))
+    def test_uniform_needs_are_optimal_for_equalweights(self, J, scale):
+        """Identical services: EQUALWEIGHTS coincides with the optimum."""
+        needs = np.full(J, scale / J)
+        assert empirical_ratio(needs) == pytest.approx(1.0)

@@ -1,0 +1,125 @@
+"""Tests for the work-conserving proportional-share scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sharing.work_conserving import work_conserving_shares
+
+
+class TestBasics:
+    def test_enough_capacity_satisfies_everyone(self):
+        consumed = work_conserving_shares(
+            np.ones(3), np.array([0.2, 0.3, 0.4]), capacity=1.0)
+        np.testing.assert_allclose(consumed, [0.2, 0.3, 0.4])
+
+    def test_equal_weights_split_evenly_when_all_hungry(self):
+        consumed = work_conserving_shares(
+            np.ones(4), np.full(4, 1.0), capacity=1.0)
+        np.testing.assert_allclose(consumed, 0.25)
+
+    def test_weights_bias_shares(self):
+        consumed = work_conserving_shares(
+            np.array([3.0, 1.0]), np.array([1.0, 1.0]), capacity=1.0)
+        np.testing.assert_allclose(consumed, [0.75, 0.25])
+
+    def test_redistribution_of_unused_share(self):
+        # Paper's motivating example: two services initially capped at 50%;
+        # one consumes less, the other picks up the slack.
+        consumed = work_conserving_shares(
+            np.ones(2), np.array([0.2, 1.0]), capacity=1.0)
+        np.testing.assert_allclose(consumed, [0.2, 0.8])
+
+    def test_cascading_redistribution(self):
+        # Three rounds: 0.1 and 0.25 are satisfied in successive rounds.
+        consumed = work_conserving_shares(
+            np.ones(3), np.array([0.1, 0.25, 1.0]), capacity=1.0)
+        np.testing.assert_allclose(consumed, [0.1, 0.25, 0.65])
+
+    def test_theorem_tight_instance(self):
+        # n1 = 1, nj = 1/J: everyone but service 1 is satisfied at 1/J.
+        J = 4
+        needs = np.full(J, 1.0 / J)
+        needs[0] = 1.0
+        consumed = work_conserving_shares(np.ones(J), needs, capacity=1.0)
+        np.testing.assert_allclose(consumed, [0.25, 0.25, 0.25, 0.25])
+
+    def test_zero_capacity(self):
+        consumed = work_conserving_shares(np.ones(2), np.ones(2), 0.0)
+        np.testing.assert_allclose(consumed, 0.0)
+
+    def test_zero_demands(self):
+        consumed = work_conserving_shares(np.ones(2), np.zeros(2), 1.0)
+        np.testing.assert_allclose(consumed, 0.0)
+
+    def test_all_zero_weights_fall_back_to_equal(self):
+        consumed = work_conserving_shares(
+            np.zeros(2), np.ones(2), capacity=1.0)
+        np.testing.assert_allclose(consumed, 0.5)
+
+    def test_empty(self):
+        assert work_conserving_shares(np.zeros(0), np.zeros(0), 1.0).size == 0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            work_conserving_shares(np.array([-1.0]), np.ones(1), 1.0)
+        with pytest.raises(ValueError):
+            work_conserving_shares(np.ones(1), np.array([-1.0]), 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            work_conserving_shares(np.ones(2), np.ones(3), 1.0)
+
+
+class TestInvariants:
+    """Property-based invariants of the scheduler (§6)."""
+
+    needs = arrays(np.float64, st.integers(min_value=1, max_value=8),
+                   elements=st.floats(min_value=0.0, max_value=2.0))
+    weights_elems = st.floats(min_value=0.0, max_value=5.0)
+
+    @settings(max_examples=200)
+    @given(demands=needs, cap=st.floats(min_value=0.01, max_value=3.0),
+           data=st.data())
+    def test_consumption_bounds(self, demands, cap, data):
+        weights = data.draw(arrays(np.float64, demands.shape,
+                                   elements=self.weights_elems))
+        consumed = work_conserving_shares(weights, demands, cap)
+        assert (consumed >= -1e-12).all()
+        assert (consumed <= demands + 1e-9).all()
+        assert consumed.sum() <= cap + 1e-9
+
+    @settings(max_examples=200)
+    @given(demands=needs, cap=st.floats(min_value=0.01, max_value=3.0))
+    def test_work_conservation(self, demands, cap):
+        """When total demand >= capacity the resource is fully used
+        (up to the epsilon floor)."""
+        consumed = work_conserving_shares(np.ones(demands.shape), demands, cap)
+        if demands.sum() >= cap:
+            assert consumed.sum() >= cap - 1e-4 - 1e-9
+        else:
+            np.testing.assert_allclose(consumed, demands)
+
+    @settings(max_examples=100)
+    @given(demands=needs)
+    def test_scheduler_is_monotone_in_weight(self, demands):
+        """Doubling one service's weight never lowers its consumption."""
+        if demands.shape[0] < 2:
+            return
+        base = np.ones(demands.shape)
+        boosted = base.copy()
+        boosted[0] = 2.0
+        c1 = work_conserving_shares(base, demands, 1.0)
+        c2 = work_conserving_shares(boosted, demands, 1.0)
+        assert c2[0] >= c1[0] - 1e-9
+
+    @settings(max_examples=100)
+    @given(demands=needs, cap=st.floats(min_value=0.01, max_value=3.0))
+    def test_equal_weights_equal_treatment(self, demands, cap):
+        """With equal weights, services with equal demands consume equally."""
+        consumed = work_conserving_shares(np.ones(demands.shape), demands, cap)
+        for i in range(len(demands)):
+            for j in range(i + 1, len(demands)):
+                if abs(demands[i] - demands[j]) < 1e-12:
+                    assert abs(consumed[i] - consumed[j]) < 1e-6

@@ -1,0 +1,95 @@
+"""Homogeneous-platform regression suite.
+
+The paper's formulation explicitly generalizes the homogeneous one of
+Stillwell et al. [3] ("This formulation is in fact more general, even for
+homogeneous platforms").  These tests pin the degeneracies that must hold
+when heterogeneity vanishes:
+
+* the heterogeneous Best-Fit (by remaining capacity) coincides with the
+  homogeneous Best-Fit (by load) on identical bins;
+* the heterogeneous PP bin-dimension ranking (by remaining capacity)
+  coincides with the homogeneous one (by load);
+* METAHVP cannot do better than METAVP on perfectly homogeneous
+  platforms beyond binary-search discretization (bin sorting is a no-op
+  when all bins are identical);
+* the CoV-0 platform generator produces exactly identical nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import metahvp, metavp
+from repro.algorithms.vector_packing import PackingState, best_fit
+from repro.algorithms.vector_packing.permutation_pack import _bin_dim_rank
+from repro.core import ProblemInstance
+from repro.workloads import ScenarioConfig, generate_instance
+
+
+def homogeneous_config(idx=0, services=20):
+    return ScenarioConfig(hosts=6, services=services, cov=0.0, slack=0.6,
+                          seed=55, instance_index=idx)
+
+
+class TestGeneratorDegeneracy:
+    def test_cov_zero_nodes_identical(self):
+        inst = generate_instance(homogeneous_config())
+        agg = inst.nodes.aggregate
+        assert (agg == agg[0]).all()
+        elem = inst.nodes.elementary
+        assert (elem == elem[0]).all()
+
+
+class TestBestFitDegeneracy:
+    @pytest.mark.parametrize("idx", range(3))
+    def test_load_and_remaining_capacity_rules_coincide(self, idx):
+        """On identical bins, max-load and min-remaining orders agree, so
+        both Best-Fit variants must produce the same packing."""
+        inst = generate_instance(homogeneous_config(idx))
+        order = np.arange(inst.num_services)
+        state_load = PackingState(inst, 0.0)
+        state_rem = PackingState(inst, 0.0)
+        ok_load = best_fit(state_load, order, by_remaining_capacity=False)
+        ok_rem = best_fit(state_rem, order, by_remaining_capacity=True)
+        assert ok_load == ok_rem
+        np.testing.assert_array_equal(state_load.assignment,
+                                      state_rem.assignment)
+
+
+class TestPpRankingDegeneracy:
+    def test_bin_dim_ranks_agree_on_identical_bins(self):
+        inst = generate_instance(homogeneous_config())
+        state = PackingState(inst, 0.0)
+        # Load bin 0 asymmetrically, then both ranking rules must agree.
+        state.loads[0] = np.array([0.3, 0.1])
+        by_load = _bin_dim_rank(state, 0, by_remaining=False)
+        by_rem = _bin_dim_rank(state, 0, by_remaining=True)
+        np.testing.assert_array_equal(by_load, by_rem)
+
+
+class TestMetaDegeneracy:
+    @pytest.mark.parametrize("idx", range(3))
+    def test_metahvp_matches_metavp_on_homogeneous_platforms(self, idx):
+        """§5: 'METAVP performs close to METAHVP over a wide range... its
+        performance relative to METAHVP decreases as the platform becomes
+        more heterogeneous' — at CoV 0 the two must essentially tie."""
+        inst = generate_instance(homogeneous_config(idx))
+        vp = metavp()(inst)
+        hvp = metahvp()(inst)
+        assert (vp is None) == (hvp is None)
+        if vp is not None:
+            assert abs(vp.minimum_yield() - hvp.minimum_yield()) < 2e-3
+
+    def test_heterogeneity_creates_the_gap(self):
+        """Sanity check of the converse: across heterogeneous instances,
+        METAHVP's advantage is non-negative and somewhere positive."""
+        gaps = []
+        for idx in range(4):
+            cfg = ScenarioConfig(hosts=6, services=20, cov=0.9, slack=0.6,
+                                 seed=56, instance_index=idx)
+            inst = generate_instance(cfg)
+            vp = metavp()(inst)
+            hvp = metahvp()(inst)
+            if vp is not None and hvp is not None:
+                gaps.append(hvp.minimum_yield() - vp.minimum_yield())
+        assert gaps, "no commonly solved instances"
+        assert min(gaps) >= -2e-3

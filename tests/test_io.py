@@ -1,0 +1,87 @@
+"""Tests for JSON instance/allocation serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, Node, ProblemInstance, Service
+from repro.io import (
+    allocation_from_dict,
+    allocation_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.workloads import ScenarioConfig, generate_instance
+
+
+@pytest.fixture()
+def instance():
+    return generate_instance(ScenarioConfig(hosts=4, services=10, cov=0.5,
+                                            slack=0.5, seed=3))
+
+
+class TestInstanceRoundTrip:
+    def test_arrays_survive(self, instance):
+        restored = instance_from_dict(instance_to_dict(instance))
+        np.testing.assert_array_equal(restored.nodes.aggregate,
+                                      instance.nodes.aggregate)
+        np.testing.assert_array_equal(restored.nodes.elementary,
+                                      instance.nodes.elementary)
+        np.testing.assert_array_equal(restored.services.req_agg,
+                                      instance.services.req_agg)
+        np.testing.assert_array_equal(restored.services.need_elem,
+                                      instance.services.need_elem)
+
+    def test_names_survive(self, instance):
+        restored = instance_from_dict(instance_to_dict(instance))
+        assert restored.nodes.names == instance.nodes.names
+        assert restored.services.names == instance.services.names
+
+    def test_file_round_trip(self, instance, tmp_path):
+        path = str(tmp_path / "instance.json")
+        save_instance(instance, path)
+        restored = load_instance(path)
+        np.testing.assert_array_equal(restored.services.req_agg,
+                                      instance.services.req_agg)
+
+    def test_json_is_plain(self, instance, tmp_path):
+        path = str(tmp_path / "instance.json")
+        save_instance(instance, path)
+        with open(path) as fh:
+            data = json.load(fh)  # must parse as standard JSON
+        assert data["format_version"] == 1
+
+    def test_unknown_version_rejected(self, instance):
+        data = instance_to_dict(instance)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            instance_from_dict(data)
+
+    def test_solutions_transfer(self, instance):
+        """An allocation computed on the original validates on the copy."""
+        from repro.algorithms import metagreedy
+        alloc = metagreedy()(instance)
+        if alloc is None:
+            pytest.skip("instance unsolvable by greedy")
+        restored = instance_from_dict(instance_to_dict(instance))
+        Allocation(restored, alloc.placement, alloc.yields).validate()
+
+
+class TestAllocationRoundTrip:
+    def test_round_trip(self, instance):
+        from repro.algorithms import metagreedy
+        alloc = metagreedy()(instance)
+        if alloc is None:
+            pytest.skip("instance unsolvable by greedy")
+        data = allocation_to_dict(alloc)
+        restored = allocation_from_dict(data, instance)
+        np.testing.assert_array_equal(restored.placement, alloc.placement)
+        np.testing.assert_allclose(restored.yields, alloc.yields)
+        restored.validate()
+
+    def test_version_check(self, instance):
+        with pytest.raises(ValueError):
+            allocation_from_dict({"format_version": 0}, instance)

@@ -1,0 +1,107 @@
+"""Tests for the shared utilities: RNG plumbing, timing, parallel map."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.parallel import default_workers, parallel_map
+from repro.util.rng import as_generator, derive_seed, spawn_generators
+from repro.util.timing import Stopwatch, timed_call, timer
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss).random()
+        b = as_generator(np.random.SeedSequence(7)).random()
+        assert a == b
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_generators_independent(self):
+        gens = spawn_generators(123, 4)
+        assert len(gens) == 4
+        draws = [g.random(8).tolist() for g in gens]
+        # All streams distinct.
+        assert len({tuple(d) for d in draws}) == 4
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_generators(5, 3)]
+        b = [g.random() for g in spawn_generators(5, 3)]
+        assert a == b
+
+    def test_derive_seed_stable_and_distinct(self):
+        a = np.random.default_rng(derive_seed(1, 2, 3)).random()
+        b = np.random.default_rng(derive_seed(1, 2, 3)).random()
+        c = np.random.default_rng(derive_seed(1, 2, 4)).random()
+        assert a == b
+        assert a != c
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.lap():
+                time.sleep(0.001)
+        assert len(sw.laps) == 3
+        assert sw.total >= 0.003
+        assert sw.mean == pytest.approx(sw.total / 3)
+
+    def test_stopwatch_empty_mean(self):
+        assert Stopwatch().mean == 0.0
+
+    def test_timed_call(self):
+        result, seconds = timed_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_timer_context(self):
+        with timer() as read:
+            time.sleep(0.001)
+            mid = read()
+        final = read()
+        assert 0.0 < mid <= final
+        # After exit the reading is frozen.
+        time.sleep(0.002)
+        assert read() == final
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_parallel_matches_serial(self):
+        tasks = list(range(20))
+        assert (parallel_map(_square, tasks, workers=2)
+                == parallel_map(_square, tasks, workers=1))
+
+    def test_order_preserved(self):
+        results = parallel_map(_square, list(range(10)), workers=2)
+        assert results == [i * i for i in range(10)]
+
+    def test_default_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        assert default_workers() >= 1
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() >= 1

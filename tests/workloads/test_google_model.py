@@ -1,0 +1,84 @@
+"""Tests for the synthetic Google-trace-like service generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.google_model import DEFAULT_MODEL, GoogleWorkloadModel
+
+
+class TestModelValidation:
+    def test_default_model_valid(self):
+        assert sum(DEFAULT_MODEL.core_weights) == pytest.approx(1.0)
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GoogleWorkloadModel(core_choices=(1, 2), core_weights=(1.0,))
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            GoogleWorkloadModel(core_choices=(1, 2), core_weights=(0.5, 0.4))
+
+    def test_core_counts_positive(self):
+        with pytest.raises(ValueError):
+            GoogleWorkloadModel(core_choices=(0, 2), core_weights=(0.5, 0.5))
+
+
+class TestGeneration:
+    def test_shapes(self):
+        sv = DEFAULT_MODEL.generate_services(50, rng=0)
+        assert len(sv) == 50
+        assert sv.dims == 2
+
+    def test_cpu_need_proportional_to_cores(self):
+        sv = DEFAULT_MODEL.generate_services(200, rng=1)
+        agg = sv.need_agg[:, 0]
+        # Aggregate CPU needs are whole core counts from the choice set.
+        assert set(np.unique(agg)) <= set(map(float, DEFAULT_MODEL.core_choices))
+
+    def test_elementary_need_is_per_core(self):
+        sv = DEFAULT_MODEL.generate_services(200, rng=1)
+        np.testing.assert_allclose(sv.need_elem[:, 0], 1.0)
+
+    def test_elementary_requirement_is_reference_value(self):
+        sv = DEFAULT_MODEL.generate_services(100, rng=2)
+        np.testing.assert_allclose(
+            sv.req_elem[:, 0], DEFAULT_MODEL.elementary_cpu_requirement)
+
+    def test_no_aggregate_cpu_requirement(self):
+        sv = DEFAULT_MODEL.generate_services(100, rng=2)
+        np.testing.assert_allclose(sv.req_agg[:, 0], 0.0)
+
+    def test_memory_is_rigid_with_no_need(self):
+        sv = DEFAULT_MODEL.generate_services(100, rng=3)
+        np.testing.assert_allclose(sv.need_agg[:, 1], 0.0)
+        np.testing.assert_allclose(sv.need_elem[:, 1], 0.0)
+        np.testing.assert_allclose(sv.req_agg[:, 1], sv.req_elem[:, 1])
+
+    def test_memory_within_bounds(self):
+        sv = DEFAULT_MODEL.generate_services(1000, rng=4)
+        mem = sv.req_agg[:, 1]
+        assert (mem >= DEFAULT_MODEL.mem_min - 1e-15).all()
+        assert (mem <= DEFAULT_MODEL.mem_max + 1e-15).all()
+
+    def test_memory_right_skewed(self):
+        sv = DEFAULT_MODEL.generate_services(5000, rng=5)
+        mem = sv.req_agg[:, 1]
+        assert np.median(mem) < mem.mean()  # right skew
+
+    def test_core_distribution_matches_weights(self):
+        sv = DEFAULT_MODEL.generate_services(20000, rng=6)
+        cores = sv.need_agg[:, 0]
+        for choice, weight in zip(DEFAULT_MODEL.core_choices,
+                                  DEFAULT_MODEL.core_weights):
+            frac = (cores == choice).mean()
+            assert frac == pytest.approx(weight, abs=0.02)
+
+    def test_deterministic_per_seed(self):
+        a = DEFAULT_MODEL.generate_services(64, rng=9)
+        b = DEFAULT_MODEL.generate_services(64, rng=9)
+        np.testing.assert_array_equal(a.req_agg, b.req_agg)
+        np.testing.assert_array_equal(a.need_agg, b.need_agg)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_MODEL.generate_services(0)

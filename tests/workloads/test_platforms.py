@@ -1,0 +1,75 @@
+"""Tests for the heterogeneous platform generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.platforms import (
+    CAPACITY_MAX,
+    CAPACITY_MIN,
+    PLATFORM_MEDIAN,
+    generate_platform,
+)
+
+
+class TestGeneratePlatform:
+    def test_shape_and_dims(self):
+        nodes = generate_platform(64, cov=0.5, rng=0)
+        assert len(nodes) == 64
+        assert nodes.dims == 2
+
+    def test_cov_zero_is_homogeneous(self):
+        nodes = generate_platform(16, cov=0.0, rng=0)
+        np.testing.assert_allclose(nodes.aggregate[:, 0], PLATFORM_MEDIAN)
+        np.testing.assert_allclose(nodes.aggregate[:, 1], PLATFORM_MEDIAN)
+
+    def test_quad_core_elementary(self):
+        nodes = generate_platform(16, cov=0.7, rng=1)
+        np.testing.assert_allclose(nodes.elementary[:, 0],
+                                   nodes.aggregate[:, 0] / 4)
+
+    def test_custom_core_count(self):
+        nodes = generate_platform(8, cov=0.3, rng=1, cores=2)
+        np.testing.assert_allclose(nodes.elementary[:, 0],
+                                   nodes.aggregate[:, 0] / 2)
+
+    def test_memory_pools(self):
+        nodes = generate_platform(16, cov=0.7, rng=1)
+        np.testing.assert_allclose(nodes.elementary[:, 1],
+                                   nodes.aggregate[:, 1])
+
+    def test_capacities_clipped(self):
+        nodes = generate_platform(500, cov=1.0, rng=2)
+        assert (nodes.aggregate >= CAPACITY_MIN - 1e-15).all()
+        assert (nodes.aggregate <= CAPACITY_MAX + 1e-15).all()
+
+    def test_cov_controls_spread(self):
+        low = generate_platform(400, cov=0.1, rng=3)
+        high = generate_platform(400, cov=0.9, rng=3)
+        assert high.aggregate[:, 0].std() > low.aggregate[:, 0].std() * 2
+
+    def test_cpu_homogeneous_pins_cpu_only(self):
+        nodes = generate_platform(64, cov=0.8, rng=4, cpu_homogeneous=True)
+        np.testing.assert_allclose(nodes.aggregate[:, 0], PLATFORM_MEDIAN)
+        assert nodes.aggregate[:, 1].std() > 0.05
+
+    def test_mem_homogeneous_pins_memory_only(self):
+        nodes = generate_platform(64, cov=0.8, rng=4, mem_homogeneous=True)
+        np.testing.assert_allclose(nodes.aggregate[:, 1], PLATFORM_MEDIAN)
+        assert nodes.aggregate[:, 0].std() > 0.05
+
+    def test_deterministic_per_seed(self):
+        a = generate_platform(32, cov=0.5, rng=7)
+        b = generate_platform(32, cov=0.5, rng=7)
+        np.testing.assert_array_equal(a.aggregate, b.aggregate)
+
+    def test_mean_near_median_for_moderate_cov(self):
+        nodes = generate_platform(2000, cov=0.3, rng=5)
+        assert nodes.aggregate[:, 0].mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            generate_platform(0, cov=0.5)
+        with pytest.raises(ValueError):
+            generate_platform(4, cov=1.5)
+        with pytest.raises(ValueError):
+            generate_platform(4, cov=-0.1)
