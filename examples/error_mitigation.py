@@ -18,7 +18,6 @@ This example walks the paper's §6 pipeline on one instance:
 Run:  python examples/error_mitigation.py
 """
 
-import numpy as np
 
 from repro.algorithms import metahvp_light
 from repro.sharing import (

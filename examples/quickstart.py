@@ -10,7 +10,7 @@ binds).
 Run:  python examples/quickstart.py
 """
 
-from repro.core import Allocation, Node, ProblemInstance, Service
+from repro.core import Node, ProblemInstance, Service
 from repro.core.allocation import max_min_yield_on_node
 from repro.algorithms import metahvp
 from repro.lp import solve_exact

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from ..core.allocation import Allocation
 from ..core.exceptions import InfeasibleProblemError, SolverError

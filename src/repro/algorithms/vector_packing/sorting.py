@@ -10,7 +10,6 @@ items and likewise for bins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 import numpy as np
 

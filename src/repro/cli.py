@@ -12,6 +12,15 @@ Examples::
 Every command prints the text rendering and, with ``--output``, writes a
 CSV next to it.  ``--paper`` switches to the full §4 grid (CPU-days in
 pure Python; the default quick grid preserves the qualitative shape).
+
+Long sweeps should run with ``--checkpoint results.jsonl``: every
+completed instance is appended to the JSONL file as it finishes, and an
+interrupted run restarted with ``--resume`` picks up exactly where it
+stopped (already-completed coordinates are read back instead of
+recomputed, so the output is identical to an uninterrupted run)::
+
+    repro --checkpoint t1.jsonl table1 --paper          # killed at 40%...
+    repro --checkpoint t1.jsonl --resume table1 --paper # ...finishes the rest
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ import argparse
 import dataclasses
 import os
 import sys
+import time
 
 from .experiments import (
     PAPER_GRID,
@@ -36,7 +46,7 @@ from .experiments import (
     run_table1,
     run_table2,
 )
-from .experiments.report import ensure_dir, write_csv
+from .experiments.report import ensure_dir
 from .experiments.table1 import DEFAULT_TABLE1_ALGORITHMS
 
 __all__ = ["main", "build_parser"]
@@ -52,6 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output", default=None,
                         help="directory for CSV/text outputs")
     parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="append each completed task to this JSONL file; "
+                             "an interrupted sweep can then be --resume'd")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse completed tasks from --checkpoint "
+                             "instead of recomputing them")
+    parser.add_argument("--window", type=int, default=None,
+                        help="max tasks in flight (default: 4 x workers)")
+    parser.add_argument("--progress", action="store_true",
+                        help="force live progress on stderr (auto when "
+                             "stderr is a terminal)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="pairwise comparisons (Table 1)")
@@ -113,6 +134,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _Progress:
+    """Throttled live progress on stderr: ``label: done tasks (n resumed)``.
+
+    Silent unless stderr is a terminal or ``--progress`` was passed, so
+    piped/CI runs stay clean.  Matches the ``progress(item, cached)``
+    callback signature of the experiment drivers.
+    """
+
+    def __init__(self, label: str, enabled: bool,
+                 interval: float = 0.5):
+        self.label = label
+        self.enabled = enabled
+        self.interval = interval
+        self.done = 0
+        self.cached = 0
+        self._last = 0.0
+        self._dirty = False
+
+    def __call__(self, item: object, cached: bool) -> None:
+        self.done += 1
+        if cached:
+            self.cached += 1
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if now - self._last >= self.interval:
+            self._last = now
+            self._dirty = True
+            print(f"\r{self.label}: {self.done} tasks "
+                  f"({self.cached} resumed)", end="", file=sys.stderr,
+                  flush=True)
+
+    def finish(self) -> None:
+        if self.enabled and self._dirty:
+            print(f"\r{self.label}: {self.done} tasks "
+                  f"({self.cached} resumed)", file=sys.stderr, flush=True)
+
+
+def _progress_enabled(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "progress", False)) or sys.stderr.isatty()
+
+
+def _run_kwargs(args: argparse.Namespace, label: str) -> dict:
+    """The streaming-engine kwargs shared by every experiment command."""
+    return {
+        "checkpoint": args.checkpoint,
+        "resume": args.resume,
+        "window": args.window,
+        "progress": _Progress(label, enabled=_progress_enabled(args)),
+    }
+
+
 def _grid(args: argparse.Namespace) -> GridSpec:
     grid = PAPER_GRID if args.paper else QUICK_GRID
     overrides = {"seed": args.seed}
@@ -136,7 +209,9 @@ def _cmd_table1(args) -> None:
     algorithms = args.algorithms or list(DEFAULT_TABLE1_ALGORITHMS)
     if getattr(args, "include_light", False) and "METAHVPLIGHT" not in algorithms:
         algorithms = list(algorithms) + ["METAHVPLIGHT"]
-    data = run_table1(_grid(args), algorithms, workers=args.workers)
+    kwargs = _run_kwargs(args, "table1")
+    data = run_table1(_grid(args), algorithms, workers=args.workers, **kwargs)
+    kwargs["progress"].finish()
     _emit(args, "table1", format_table1(data))
 
 
@@ -144,7 +219,9 @@ def _cmd_table2(args) -> None:
     algorithms = ["RRNZ", "METAGREEDY", "METAVP", "METAHVP"]
     if args.include_light:
         algorithms.append("METAHVPLIGHT")
-    data = run_table2(_grid(args), algorithms, workers=args.workers)
+    kwargs = _run_kwargs(args, "table2")
+    data = run_table2(_grid(args), algorithms, workers=args.workers, **kwargs)
+    kwargs["progress"].finish()
     _emit(args, "table2", format_table2(data))
 
 
@@ -171,7 +248,9 @@ def _cov_spec(args) -> CovFigureSpec:
 
 def _cmd_fig_cov(args) -> None:
     spec = _cov_spec(args)
-    data = run_cov_figure(spec, workers=args.workers)
+    kwargs = _run_kwargs(args, "fig-cov")
+    data = run_cov_figure(spec, workers=args.workers, **kwargs)
+    kwargs["progress"].finish()
     name = f"fig-cov-J{spec.services}-slack{spec.slack:g}"
     if spec.cpu_homogeneous:
         name += "-cpuhom"
@@ -203,9 +282,19 @@ def _error_spec(args) -> ErrorFigureSpec:
 
 def _cmd_fig_error(args) -> None:
     spec = _error_spec(args)
-    data = run_error_figure(spec, workers=args.workers)
+    kwargs = _run_kwargs(args, "fig-error")
+    data = run_error_figure(spec, workers=args.workers, **kwargs)
+    kwargs["progress"].finish()
     name = f"fig-error-J{spec.services}-slack{spec.slack:g}-cov{spec.cov:g}"
     _emit(args, name, format_error_figure(data), data)
+
+
+def _subcheckpoint(args: argparse.Namespace, name: str) -> str | None:
+    """Per-step checkpoint path for ``all``: each sub-command owns its own
+    file, so a fresh (non-resume) step never truncates a finished one."""
+    if not args.checkpoint:
+        return None
+    return f"{args.checkpoint}.{name}.jsonl"
 
 
 def _cmd_all(args) -> None:
@@ -213,7 +302,9 @@ def _cmd_all(args) -> None:
     ns.instances = None
     ns.algorithms = None
     ns.include_light = True
+    ns.checkpoint = _subcheckpoint(args, "table1")
     _cmd_table1(ns)
+    ns.checkpoint = _subcheckpoint(args, "table2")
     _cmd_table2(ns)
     for services in (None,):
         for variant in ("none", "cpu", "mem"):
@@ -223,6 +314,7 @@ def _cmd_all(args) -> None:
             cov_ns.instances = None
             cov_ns.slack = 0.3
             cov_ns.variant = variant
+            cov_ns.checkpoint = _subcheckpoint(args, f"fig-cov-{variant}")
             _cmd_fig_cov(cov_ns)
     err_ns = argparse.Namespace(**vars(args))
     err_ns.services = None
@@ -232,6 +324,7 @@ def _cmd_all(args) -> None:
     err_ns.cov = 0.5
     err_ns.placer = None
     err_ns.include_caps = True
+    err_ns.checkpoint = _subcheckpoint(args, "fig-error")
     _cmd_fig_error(err_ns)
 
 
@@ -244,7 +337,9 @@ def _cmd_rank_strategies(args) -> None:
         for cov in (0.25, 0.75)
         for idx in range(max(1, args.instances // 2))
     ]
-    ranking = rank_strategies(configs, workers=args.workers)
+    kwargs = _run_kwargs(args, "rank-strategies")
+    ranking = rank_strategies(configs, workers=args.workers, **kwargs)
+    kwargs["progress"].finish()
     _emit(args, "strategy-ranking", format_ranking(ranking, top_n=args.top))
 
 
@@ -288,7 +383,10 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
     _COMMANDS[args.command](args)
     return 0
 

@@ -8,7 +8,7 @@ per-object Python attributes in their hot loops.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from .exceptions import InvalidServiceError
-from .resources import VectorPair, as_vector, check_same_dimensions
+from .resources import VectorPair, as_vector
 
 __all__ = ["Service", "ServiceArray"]
 

@@ -15,8 +15,7 @@ Google-trace-like model as the static experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -27,16 +27,21 @@ from .metrics import (
     success_rate,
 )
 from .persistence import (
+    JsonlCheckpoint,
+    ResultStore,
     append_results,
     load_results,
     merge_results,
     save_results,
+    scenario_key,
+    task_key,
 )
 from .report import format_matrix, format_table, write_csv
 from .runner import (
     ALGORITHM_FACTORIES,
     AlgorithmResult,
     TaskResult,
+    iter_grid,
     make_algorithms,
     run_grid,
 )
@@ -51,10 +56,12 @@ __all__ = [
     "ErrorFigureData",
     "ErrorFigureSpec",
     "GridSpec",
+    "JsonlCheckpoint",
     "MeanCI",
     "PAPER_GRID",
     "PairwiseComparison",
     "QUICK_GRID",
+    "ResultStore",
     "SMOKE_GRID",
     "Table1Data",
     "Table2Data",
@@ -68,6 +75,7 @@ __all__ = [
     "format_table",
     "format_table1",
     "format_table2",
+    "iter_grid",
     "line_chart",
     "load_results",
     "make_algorithms",
@@ -80,8 +88,10 @@ __all__ = [
     "run_table1",
     "run_table2",
     "save_results",
+    "scenario_key",
     "sparkline",
     "success_rate",
+    "task_key",
     "table2_from_results",
     "win_loss_tie",
     "write_csv",

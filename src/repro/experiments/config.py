@@ -10,10 +10,9 @@ the CLI) keeps the same structure at a laptop-friendly size; pass
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterator
 
-import numpy as np
 
 from ..workloads import ScenarioConfig
 

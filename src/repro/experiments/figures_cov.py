@@ -9,14 +9,14 @@ the median.  Points below zero mean METAHVP was beaten on that instance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from ..workloads import ScenarioConfig
 from .report import format_table, write_csv
-from .runner import run_grid
+from .runner import ProgressCallback, iter_grid
 
 __all__ = ["CovFigureSpec", "CovFigureData", "run_cov_figure",
            "format_cov_figure", "DEFAULT_COV_COMPETITORS"]
@@ -75,12 +75,18 @@ class CovFigureData:
 
 
 def run_cov_figure(spec: CovFigureSpec,
-                   workers: int | None = None) -> CovFigureData:
+                   workers: int | None = None,
+                   *,
+                   checkpoint=None,
+                   resume: bool = False,
+                   window: int | None = None,
+                   progress: ProgressCallback | None = None) -> CovFigureData:
     algorithms = tuple(spec.competitors) + (BASELINE,)
-    results = run_grid(spec.configs(), algorithms, workers=workers)
     points: dict[str, list[tuple[float, float]]] = {
         a: [] for a in spec.competitors}
-    for task in results:
+    for task in iter_grid(spec.configs(), algorithms, workers, window=window,
+                          checkpoint=checkpoint, resume=resume,
+                          progress=progress):
         by_algo = task.by_algorithm()
         base = by_algo[BASELINE].min_yield
         if base is None:

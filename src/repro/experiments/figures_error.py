@@ -17,8 +17,11 @@ that hard caps collapse once the error reaches ≈30% of the mean need.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -29,11 +32,14 @@ from ..sharing import (
     perturb_cpu_needs,
     zero_knowledge_placement,
 )
-from ..util.parallel import parallel_map
+from ..util.parallel import parallel_imap_cached
 from ..util.rng import derive_seed
 from ..workloads import ScenarioConfig, generate_instance
+from .persistence import as_jsonl_checkpoint, fingerprinted_cache
 from .report import format_table, write_csv
 from .runner import ALGORITHM_FACTORIES
+
+CHECKPOINT_KIND = "error-figure"
 
 __all__ = ["ErrorFigureSpec", "ErrorFigureData", "run_error_figure",
            "format_error_figure"]
@@ -138,12 +144,62 @@ def _run_instance(task: _InstanceTask) -> Optional[dict[str, dict[float, float]]
     return out
 
 
+def _spec_fingerprint(spec: ErrorFigureSpec) -> str:
+    """Identity of a figure's per-instance payloads in a shared checkpoint.
+
+    ``instances`` is excluded: payloads are per-instance, so growing the
+    instance count on resume reuses the ones already computed.
+    """
+    fields = dataclasses.asdict(spec)
+    fields.pop("instances")
+    blob = json.dumps(fields, sort_keys=True)
+    return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+def _encode_payload(out: Optional[dict[str, dict[float, float]]]):
+    if out is None:
+        return None  # dropped instance — recorded so resume skips it too
+    return {"series": [[name, list(curve.items())]
+                       for name, curve in out.items()]}
+
+
+def _decode_payload(data) -> Optional[dict[str, dict[float, float]]]:
+    if data is None:
+        return None
+    return {name: {float(err): val for err, val in pairs}
+            for name, pairs in data["series"]}
+
+
 def run_error_figure(spec: ErrorFigureSpec,
-                     workers: int | None = None) -> ErrorFigureData:
+                     workers: int | None = None,
+                     *,
+                     checkpoint=None,
+                     resume: bool = False,
+                     window: int | None = None,
+                     progress=None) -> ErrorFigureData:
     tasks = [_InstanceTask(spec, i) for i in range(spec.instances)]
-    per_instance = [r for r in parallel_map(_run_instance, tasks,
-                                            workers=workers)
-                    if r is not None]
+    ckpt = as_jsonl_checkpoint(checkpoint, kind=CHECKPOINT_KIND,
+                               resume=resume)
+    fp = _spec_fingerprint(spec)
+    cache = fingerprinted_cache(ckpt, fp,
+                                lambda key, payload: _decode_payload(payload))
+
+    def on_computed(key: str, value) -> None:
+        ckpt.append(json.loads(key), _encode_payload(value))
+
+    per_instance = []
+    try:
+        for result in parallel_imap_cached(
+                _run_instance, tasks, cache,
+                key=lambda t: json.dumps([fp, t.index], sort_keys=True),
+                workers=workers, window=window,
+                on_computed=None if ckpt is None else on_computed,
+                progress=progress):
+            if result is not None:
+                per_instance.append(result)
+    finally:
+        if ckpt is not None and ckpt is not checkpoint:
+            ckpt.close()
     # Average each series point over the instances that produced it.
     acc: dict[str, dict[float, list[float]]] = {}
     for result in per_instance:

@@ -1,40 +1,82 @@
-"""Persistence of grid results.
+"""Persistence of grid results and streaming checkpoints.
 
 The full paper grid is expensive; persisting per-instance results as
 JSON-lines lets long runs be split across sessions/machines and merged
 afterwards.  Each line is self-describing: the scenario coordinates plus
 every algorithm's outcome, so files from different grids can be safely
 concatenated and re-filtered.
+
+Two kinds of line share the ``.jsonl`` files:
+
+* **task records** (``{"v": 1, "config": ..., "results": ...}``) — one
+  :class:`~.runner.TaskResult` each; written by :func:`save_results` /
+  :func:`append_results` and by :class:`ResultStore`.
+* **checkpoint records** (``{"v": 1, "kind": ..., "key": ...,
+  "payload": ...}``) — generic key→payload entries used by the error-figure
+  and strategy-ranking drivers via :class:`JsonlCheckpoint`.
+
+Loaders skip lines of the other kind, so one file can serve as a shared
+checkpoint.  Checkpoint loads also tolerate a truncated *final* line — the
+signature of a run killed mid-write — by ignoring it; the interrupted task
+simply reruns on resume.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Iterable, Iterator, Sequence
+from typing import IO, Iterable, Iterator, Optional, Sequence
 
 from ..workloads import ScenarioConfig
 from .runner import AlgorithmResult, TaskResult
 
-__all__ = ["save_results", "load_results", "append_results", "merge_results"]
+__all__ = [
+    "FORMAT_VERSION",
+    "JsonlCheckpoint",
+    "ResultStore",
+    "append_results",
+    "as_jsonl_checkpoint",
+    "as_result_store",
+    "fingerprinted_cache",
+    "load_results",
+    "merge_results",
+    "save_results",
+    "scenario_key",
+    "task_from_dict",
+    "task_key",
+    "task_to_dict",
+]
 
 FORMAT_VERSION = 1
 
+_CONFIG_FIELDS = ("hosts", "services", "cov", "slack", "cpu_homogeneous",
+                  "mem_homogeneous", "seed", "instance_index")
 
-def _task_to_dict(task: TaskResult) -> dict:
+
+def scenario_key(config: ScenarioConfig) -> tuple:
+    """The grid coordinates identifying one scenario cell.
+
+    Note the workload *model* is not part of the key (or of the serialized
+    form): persisted grids assume the default Google-trace model.
+    """
+    return tuple(getattr(config, f) for f in _CONFIG_FIELDS)
+
+
+def task_key(config: ScenarioConfig, algorithms: Sequence[str]) -> tuple:
+    """Checkpoint identity of one task: scenario cell + algorithm set.
+
+    Including the algorithm tuple keeps a Table-1 checkpoint (5 algorithms)
+    from answering a Table-2 resume (4 algorithms) with the wrong result
+    shape.
+    """
+    return scenario_key(config) + (tuple(algorithms),)
+
+
+def task_to_dict(task: TaskResult) -> dict:
     cfg = task.config
     return {
         "v": FORMAT_VERSION,
-        "config": {
-            "hosts": cfg.hosts,
-            "services": cfg.services,
-            "cov": cfg.cov,
-            "slack": cfg.slack,
-            "cpu_homogeneous": cfg.cpu_homogeneous,
-            "mem_homogeneous": cfg.mem_homogeneous,
-            "seed": cfg.seed,
-            "instance_index": cfg.instance_index,
-        },
+        "config": {f: getattr(cfg, f) for f in _CONFIG_FIELDS},
         "results": [
             {"algorithm": r.algorithm, "min_yield": r.min_yield,
              "seconds": r.seconds}
@@ -43,7 +85,7 @@ def _task_to_dict(task: TaskResult) -> dict:
     }
 
 
-def _task_from_dict(data: dict) -> TaskResult:
+def task_from_dict(data: dict) -> TaskResult:
     if data.get("v") != FORMAT_VERSION:
         raise ValueError(f"unsupported results format version: {data.get('v')!r}")
     cfg = ScenarioConfig(**data["config"])
@@ -54,6 +96,94 @@ def _task_from_dict(data: dict) -> TaskResult:
     return TaskResult(cfg, results)
 
 
+def _open_append(path: str) -> IO[str]:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return open(path, "a")
+
+
+def _rewrite_keeping(path: str, keep) -> None:
+    """Rewrite *path* with only the records matching *keep* (a predicate).
+
+    Used by the ``resume=False`` stores: "truncate" means dropping *this
+    store's* records while preserving foreign ones, since several
+    checkpoints may share one file.  A partial final line is dropped.
+    """
+    kept = [rec for rec in _iter_records(path, tolerate_partial=True)
+            if keep(rec)]
+    if not kept:
+        os.remove(path)
+        return
+    with open(path, "w") as fh:
+        for rec in kept:
+            fh.write(json.dumps(rec) + "\n")
+
+
+def _iter_records(path: str, tolerate_partial: bool = False
+                  ) -> Iterator[dict]:
+    """Yield parsed JSON records from *path*.
+
+    With ``tolerate_partial``, an unparseable *final* line is ignored (a
+    crash mid-append leaves exactly that); garbage anywhere else still
+    raises, since it means the file is not one of ours.
+    """
+    with open(path) as fh:
+        lines = fh.readlines()
+    for lineno, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError as exc:
+            if tolerate_partial and lineno == len(lines) - 1:
+                return
+            raise ValueError(
+                f"{path}:{lineno + 1}: not a results/checkpoint record "
+                f"({exc})") from exc
+
+
+def _recover_records(path: str) -> list[dict]:
+    """Read records for a store that will *append* to *path*, repairing a
+    crash-damaged tail in place.
+
+    A run killed mid-append leaves either a partial final line or a final
+    record missing its newline.  Reading alone isn't enough — the next
+    append would glue onto that tail, corrupting the record (and, once
+    more lines follow, the whole file).  So: an unparseable final line is
+    truncated away (that task simply reruns); a parseable final record
+    merely missing its newline gets the newline restored.  Garbage
+    anywhere else still raises.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    records: list[dict] = []
+    good_end = 0
+    offset = 0
+    for line in raw.splitlines(keepends=True):
+        offset += len(line)
+        stripped = line.strip()
+        if stripped:
+            try:
+                records.append(json.loads(stripped))
+            except json.JSONDecodeError as exc:
+                if offset >= len(raw):  # partial final line: drop it
+                    break
+                lineno = raw[:offset].count(b"\n")
+                raise ValueError(
+                    f"{path}:{lineno}: not a results/checkpoint record "
+                    f"({exc})") from exc
+        good_end = offset
+    if good_end < len(raw):
+        with open(path, "r+b") as fh:
+            fh.truncate(good_end)
+    elif raw and not raw.endswith(b"\n"):  # complete record, no newline
+        with open(path, "ab") as fh:
+            fh.write(b"\n")
+    return records
+
+
 def save_results(results: Sequence[TaskResult], path: str) -> None:
     """Write results as JSON-lines (overwrites *path*)."""
     parent = os.path.dirname(path)
@@ -61,27 +191,25 @@ def save_results(results: Sequence[TaskResult], path: str) -> None:
         os.makedirs(parent, exist_ok=True)
     with open(path, "w") as fh:
         for task in results:
-            fh.write(json.dumps(_task_to_dict(task)) + "\n")
+            fh.write(json.dumps(task_to_dict(task)) + "\n")
 
 
 def append_results(results: Sequence[TaskResult], path: str) -> None:
     """Append results to an existing JSON-lines file (or create it)."""
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "a") as fh:
+    with _open_append(path) as fh:
         for task in results:
-            fh.write(json.dumps(_task_to_dict(task)) + "\n")
+            fh.write(json.dumps(task_to_dict(task)) + "\n")
 
 
 def load_results(path: str) -> list[TaskResult]:
-    out = []
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                out.append(_task_from_dict(json.loads(line)))
-    return out
+    """Load every task record in *path* (checkpoint records are skipped).
+
+    A partial final line — the signature of a run killed mid-append — is
+    ignored, so checkpoints from dead machines merge without repair.
+    """
+    return [task_from_dict(rec)
+            for rec in _iter_records(path, tolerate_partial=True)
+            if "kind" not in rec]
 
 
 def merge_results(result_sets: Iterable[Sequence[TaskResult]]
@@ -96,12 +224,177 @@ def merge_results(result_sets: Iterable[Sequence[TaskResult]]
     merged: list[TaskResult] = []
     for results in result_sets:
         for task in results:
-            key = (task.config.hosts, task.config.services, task.config.cov,
-                   task.config.slack, task.config.cpu_homogeneous,
-                   task.config.mem_homogeneous, task.config.seed,
-                   task.config.instance_index)
+            key = scenario_key(task.config)
             if key in seen:
                 continue
             seen.add(key)
             merged.append(task)
     return merged
+
+
+class ResultStore:
+    """Append-only JSONL checkpoint of :class:`TaskResult`s.
+
+    Each completed task is written, flushed and fsynced immediately, so a
+    killed run loses at most the tasks still in flight.  Construction with
+    ``resume=True`` indexes every task already in the file (keyed by
+    :func:`task_key`); ``resume=False`` drops the file's task records while
+    preserving any :class:`JsonlCheckpoint` records sharing it.  The file
+    stays loadable by :func:`load_results`, so finished checkpoints double
+    as result files.
+
+    Appended results are *not* retained in memory — only counted — keeping
+    checkpointed sweeps as memory-flat as unchecked ones; ``completed``
+    holds just the tasks indexed at construction.
+    """
+
+    def __init__(self, path: str, resume: bool = False):
+        self.path = path
+        self._completed: dict[tuple, TaskResult] = {}
+        self._appended = 0
+        if resume and os.path.exists(path):
+            for rec in _recover_records(path):
+                if "kind" in rec:
+                    continue
+                task = task_from_dict(rec)
+                algos = tuple(r.algorithm for r in task.results)
+                self._completed[task_key(task.config, algos)] = task
+        elif not resume and os.path.exists(path):
+            _rewrite_keeping(path, lambda rec: "kind" in rec)
+        self._fh: Optional[IO[str]] = None
+
+    @property
+    def completed(self) -> dict[tuple, TaskResult]:
+        """Tasks on disk at construction time, keyed by :func:`task_key`."""
+        return self._completed
+
+    def __len__(self) -> int:
+        return len(self._completed) + self._appended
+
+    def append(self, task: TaskResult) -> None:
+        if self._fh is None:
+            self._fh = _open_append(self.path)
+        self._fh.write(json.dumps(task_to_dict(task)) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._appended += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def as_result_store(checkpoint: "str | ResultStore | None",
+                    resume: bool = False) -> Optional[ResultStore]:
+    """Normalize a checkpoint argument: paths are opened (truncating unless
+    *resume*), stores pass through, ``None`` stays ``None``.
+
+    Drivers that run several grids against one checkpoint file open the
+    store once with this and hand the *store* down, so the truncation
+    decision happens exactly once.
+    """
+    if checkpoint is None or isinstance(checkpoint, ResultStore):
+        return checkpoint
+    return ResultStore(checkpoint, resume=resume)
+
+
+class JsonlCheckpoint:
+    """Generic append-only key→payload checkpoint for non-grid sweeps.
+
+    Records carry a ``kind`` tag so several checkpoints (and task records)
+    can share one file; loading filters to this instance's kind, and
+    ``resume=False`` drops only this kind's records from a shared file.
+    Keys are JSON values (typically ``[fingerprint, index]`` lists)
+    compared after a canonical round-trip, so tuples and lists are
+    interchangeable.  As with :class:`ResultStore`, appends are counted
+    but not retained in memory.
+    """
+
+    def __init__(self, path: str, kind: str, resume: bool = False):
+        self.path = path
+        self.kind = kind
+        self._completed: dict[str, object] = {}
+        self._appended = 0
+        if resume and os.path.exists(path):
+            for rec in _recover_records(path):
+                if rec.get("kind") != kind:
+                    continue
+                if rec.get("v") != FORMAT_VERSION:
+                    raise ValueError(
+                        f"unsupported checkpoint version: {rec.get('v')!r}")
+                self._completed[self._canon(rec["key"])] = rec["payload"]
+        elif not resume and os.path.exists(path):
+            _rewrite_keeping(path, lambda rec: rec.get("kind") != kind)
+        self._fh: Optional[IO[str]] = None
+
+    @staticmethod
+    def _canon(key: object) -> str:
+        return json.dumps(key, sort_keys=True)
+
+    @property
+    def completed(self) -> dict:
+        """Payloads on disk at construction, keyed by canonical JSON key."""
+        return self._completed
+
+    def key(self, key: object) -> str:
+        """Canonical form of *key* for ``completed`` lookups."""
+        return self._canon(key)
+
+    def __len__(self) -> int:
+        return len(self._completed) + self._appended
+
+    def append(self, key: object, payload: object) -> None:
+        if self._fh is None:
+            self._fh = _open_append(self.path)
+        record = {"v": FORMAT_VERSION, "kind": self.kind,
+                  "key": key, "payload": payload}
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._appended += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlCheckpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def as_jsonl_checkpoint(checkpoint: "str | JsonlCheckpoint | None",
+                        kind: str,
+                        resume: bool = False) -> Optional[JsonlCheckpoint]:
+    """:func:`as_result_store`'s analogue for :class:`JsonlCheckpoint`."""
+    if checkpoint is None or isinstance(checkpoint, JsonlCheckpoint):
+        return checkpoint
+    return JsonlCheckpoint(checkpoint, kind=kind, resume=resume)
+
+
+def fingerprinted_cache(ckpt: Optional[JsonlCheckpoint], fingerprint: str,
+                        decode) -> dict:
+    """Rebuild a ``parallel_imap_cached`` cache from a checkpoint.
+
+    Keys follow the ``[fingerprint, index]`` convention; only this
+    fingerprint's payloads are decoded (a shared file may hold payloads of
+    other sweeps, whose keys can never match).  ``decode(key, payload)``
+    turns a stored payload back into the in-memory value.
+    """
+    cache: dict = {}
+    if ckpt is None:
+        return cache
+    for canon, payload in ckpt.completed.items():
+        key = json.loads(canon)
+        if key[0] == fingerprint:
+            cache[canon] = decode(key, payload)
+    return cache

@@ -5,12 +5,20 @@ plus algorithm names — regenerate their instance locally from the derived
 seed, run the algorithms, and return plain floats.  No arrays or
 generators cross process boundaries (the scatter/gather discipline of the
 HPC guides).
+
+:func:`iter_grid` is the streaming engine: it submits tasks to the pool in
+a bounded window (constant memory for million-task grids), optionally
+appends every completed :class:`TaskResult` to a JSONL checkpoint, and on
+``resume=True`` answers already-completed coordinates from the checkpoint
+instead of recomputing — yielding results in input order either way, so a
+resumed sweep is identical to an uninterrupted one.  :func:`run_grid` is
+the materializing wrapper kept for existing callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -25,13 +33,17 @@ from ..algorithms import (
     rrnz,
 )
 from ..algorithms.base import NamedAlgorithm
-from ..util.parallel import parallel_map
+from ..util.parallel import parallel_imap_cached
 from ..util.rng import derive_seed
 from ..util.timing import timed_call
 from ..workloads import ScenarioConfig, generate_instance
 
-__all__ = ["ALGORITHM_FACTORIES", "AlgorithmResult", "TaskResult", "run_grid",
-           "make_algorithms"]
+__all__ = ["ALGORITHM_FACTORIES", "AlgorithmResult", "TaskResult",
+           "iter_grid", "run_grid", "make_algorithms"]
+
+#: Callback invoked per yielded result: ``progress(result, cached)`` where
+#: *cached* is True when the result came from the checkpoint.
+ProgressCallback = Callable[["TaskResult", bool], None]
 
 #: Paper-name → zero-argument factory.  Factories (not instances) keep the
 #: task descriptors picklable and let every worker build fresh closures.
@@ -45,6 +57,15 @@ ALGORITHM_FACTORIES: dict[str, Callable[[], NamedAlgorithm]] = {
     # Extra baselines beyond the paper's Table 1 (see their modules):
     "RANDOM": random_placement,
     "MILP": milp_exact,
+}
+
+#: Alphabetical registry rank per algorithm, fixed at import time.  These
+#: feed :func:`derive_seed`, so the table must never depend on registry
+#: mutation order — and computing it once here (instead of re-sorting the
+#: registry for every algorithm of every task) keeps the per-task setup
+#: cost flat.
+_ALGO_STREAM_IDS: dict[str, int] = {
+    name: rank for rank, name in enumerate(sorted(ALGORITHM_FACTORIES))
 }
 
 
@@ -106,14 +127,73 @@ def _run_task(task: _Task) -> TaskResult:
 
 def _algo_stream_id(name: str) -> int:
     # Stable small integer per algorithm name (alphabetical registry rank).
-    return sorted(ALGORITHM_FACTORIES).index(name)
+    return _ALGO_STREAM_IDS[name]
+
+
+def iter_grid(configs: Iterable[ScenarioConfig],
+              algorithms: Sequence[str],
+              workers: int | None = None,
+              *,
+              window: int | None = None,
+              checkpoint: Union[str, "ResultStore", None] = None,
+              resume: bool = False,
+              progress: Optional[ProgressCallback] = None,
+              ) -> Iterator[TaskResult]:
+    """Stream :class:`TaskResult`s for *configs* in input order.
+
+    *configs* may be an arbitrarily large lazy iterable; only ``window``
+    tasks (default ``4 × workers``) are in flight at once.
+
+    With *checkpoint* (a JSONL path or an open
+    :class:`~.persistence.ResultStore`), every completed result is
+    appended — flushed and fsynced — before being yielded, so an
+    interrupted run loses at most the tasks still in flight.  With
+    ``resume=True`` the checkpoint is indexed first and tasks whose
+    coordinates (scenario cell + algorithm tuple) are already present are
+    yielded from it without recomputation; because instances are
+    regenerated from their coordinates, the resumed stream is exactly the
+    uninterrupted one.  A path with ``resume=False`` is truncated.
+
+    *progress* is invoked as ``progress(result, cached)`` for every
+    yielded result.
+    """
+    from .persistence import as_result_store, task_key  # deferred: circular
+
+    algorithms = tuple(algorithms)
+    make_algorithms(algorithms)  # validate names up front
+
+    store = as_result_store(checkpoint, resume=resume)
+    cache = store.completed if store is not None else {}
+    on_computed = None if store is None else (
+        lambda key, result: store.append(result))
+
+    tasks = (_Task(cfg, algorithms) for cfg in configs)
+    stream = parallel_imap_cached(
+        _run_task, tasks, cache,
+        key=lambda task: task_key(task.config, task.algorithms),
+        workers=workers, window=window, on_computed=on_computed,
+        progress=progress)
+    try:
+        yield from stream
+    finally:
+        stream.close()
+        if store is not None and store is not checkpoint:
+            store.close()  # we opened it from a path, so we close it
 
 
 def run_grid(configs: Iterable[ScenarioConfig],
              algorithms: Sequence[str],
-             workers: int | None = None) -> list[TaskResult]:
-    """Run *algorithms* on every config; order of results matches input."""
-    algorithms = tuple(algorithms)
-    make_algorithms(algorithms)  # validate names up front
-    tasks = [_Task(cfg, algorithms) for cfg in configs]
-    return parallel_map(_run_task, tasks, workers=workers)
+             workers: int | None = None,
+             *,
+             window: int | None = None,
+             checkpoint: Union[str, "ResultStore", None] = None,
+             resume: bool = False,
+             progress: Optional[ProgressCallback] = None) -> list[TaskResult]:
+    """Run *algorithms* on every config; order of results matches input.
+
+    Materializing wrapper around :func:`iter_grid`; the keyword-only
+    checkpoint/resume/progress options are forwarded unchanged.
+    """
+    return list(iter_grid(configs, algorithms, workers, window=window,
+                          checkpoint=checkpoint, resume=resume,
+                          progress=progress))

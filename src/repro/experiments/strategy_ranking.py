@@ -14,9 +14,11 @@ be audited (and re-derived for new workload families).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -26,9 +28,12 @@ from ..algorithms.vector_packing import (
     hvp_strategies,
 )
 from ..algorithms.vector_packing.meta import single_strategy_algorithm
-from ..util.parallel import parallel_map
+from ..util.parallel import parallel_imap_cached
 from ..workloads import ScenarioConfig, generate_instance
+from .persistence import as_jsonl_checkpoint, fingerprinted_cache, scenario_key
 from .report import format_table
+
+CHECKPOINT_KIND = "strategy-rank"
 
 __all__ = ["StrategyRanking", "rank_strategies", "format_ranking",
            "light_set_audit"]
@@ -94,12 +99,62 @@ def _evaluate_strategy(task: _StrategyTask) -> StrategyStats:
     )
 
 
+def _configs_fingerprint(configs: Sequence[ScenarioConfig]) -> str:
+    blob = json.dumps([scenario_key(c) for c in configs])
+    return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+def _encode_stats(stats: StrategyStats) -> dict:
+    return {"strategy": stats.strategy.name, "successes": stats.successes,
+            "attempts": stats.attempts, "average_yield": stats.average_yield}
+
+
+def _decode_stats(index: int, data: dict) -> StrategyStats:
+    strategy = hvp_strategies()[index]
+    if data["strategy"] != strategy.name:
+        raise ValueError(
+            f"checkpoint strategy mismatch at index {index}: "
+            f"{data['strategy']!r} on disk vs {strategy.name!r} in registry")
+    return StrategyStats(strategy=strategy, successes=data["successes"],
+                         attempts=data["attempts"],
+                         average_yield=data["average_yield"])
+
+
 def rank_strategies(configs: Sequence[ScenarioConfig],
-                    workers: int | None = None) -> StrategyRanking:
-    """Evaluate every basic HVP strategy on *configs* and rank them."""
+                    workers: int | None = None,
+                    *,
+                    checkpoint=None,
+                    resume: bool = False,
+                    window: int | None = None,
+                    progress=None) -> StrategyRanking:
+    """Evaluate every basic HVP strategy on *configs* and rank them.
+
+    With *checkpoint*/``resume=True``, per-strategy stats are persisted as
+    they complete and already-evaluated strategies (for this exact config
+    set) are answered from disk.
+    """
     configs = tuple(configs)
     tasks = [_StrategyTask(i, configs) for i in range(len(hvp_strategies()))]
-    stats = parallel_map(_evaluate_strategy, tasks, workers=workers)
+    ckpt = as_jsonl_checkpoint(checkpoint, kind=CHECKPOINT_KIND,
+                               resume=resume)
+    fp = _configs_fingerprint(configs)
+    cache = fingerprinted_cache(
+        ckpt, fp, lambda key, payload: _decode_stats(key[1], payload))
+
+    def on_computed(key: str, stats: StrategyStats) -> None:
+        ckpt.append(json.loads(key), _encode_stats(stats))
+
+    stats = []
+    try:
+        stats = list(parallel_imap_cached(
+            _evaluate_strategy, tasks, cache,
+            key=lambda t: json.dumps([fp, t.strategy_index], sort_keys=True),
+            workers=workers, window=window,
+            on_computed=None if ckpt is None else on_computed,
+            progress=progress))
+    finally:
+        if ckpt is not None and ckpt is not checkpoint:
+            ckpt.close()
     ordered = tuple(sorted(stats, key=StrategyStats.sort_key, reverse=True))
     return StrategyRanking(ordered)
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from ..workloads import ScenarioConfig
 from .config import GridSpec
 from .metrics import (
     PairwiseComparison,
@@ -21,8 +20,9 @@ from .metrics import (
     pairwise_comparison,
     success_rate,
 )
+from .persistence import as_result_store
 from .report import format_matrix, format_table
-from .runner import TaskResult, run_grid
+from .runner import ProgressCallback, iter_grid
 
 __all__ = ["Table1Data", "run_table1", "format_table1",
            "DEFAULT_TABLE1_ALGORITHMS"]
@@ -42,37 +42,47 @@ class Table1Data:
     instance_counts: Mapping[int, int]
 
 
-def _yields_by_algorithm(results: Sequence[TaskResult],
-                         algorithms: Sequence[str]
-                         ) -> dict[str, list[float | None]]:
-    table: dict[str, list[float | None]] = {a: [] for a in algorithms}
-    for task in results:
-        by_algo = task.by_algorithm()
-        for a in algorithms:
-            table[a].append(by_algo[a].min_yield)
-    return table
-
-
 def run_table1(grid: GridSpec,
                algorithms: Sequence[str] = DEFAULT_TABLE1_ALGORITHMS,
-               workers: int | None = None) -> Table1Data:
-    """Run the grid and assemble the Table-1 matrices."""
+               workers: int | None = None,
+               *,
+               checkpoint=None,
+               resume: bool = False,
+               window: int | None = None,
+               progress: ProgressCallback | None = None) -> Table1Data:
+    """Run the grid and assemble the Table-1 matrices.
+
+    Results stream in (only the per-algorithm yield columns are retained,
+    not the TaskResults) and, with *checkpoint*, are appended to a JSONL
+    file as they complete; ``resume=True`` skips coordinates already in it.
+    """
     algorithms = tuple(algorithms)
     matrices: dict[int, dict[tuple[str, str], PairwiseComparison]] = {}
     rates: dict[int, dict[str, float]] = {}
     avgs: dict[int, dict[str, float]] = {}
     counts: dict[int, int] = {}
-    for J in grid.services:
-        results = run_grid(grid.configs(services=J), algorithms,
-                           workers=workers)
-        yields = _yields_by_algorithm(results, algorithms)
-        counts[J] = len(results)
-        rates[J] = {a: success_rate(yields[a]) for a in algorithms}
-        avgs[J] = {a: average_yield(yields[a]) for a in algorithms}
-        matrices[J] = {
-            (a, b): pairwise_comparison(yields[a], yields[b])
-            for a in algorithms for b in algorithms if a != b
-        }
+    store = as_result_store(checkpoint, resume=resume)
+    try:
+        for J in grid.services:
+            yields: dict[str, list[float | None]] = {a: [] for a in algorithms}
+            count = 0
+            for task in iter_grid(grid.configs(services=J), algorithms,
+                                  workers, window=window, checkpoint=store,
+                                  progress=progress):
+                count += 1
+                by_algo = task.by_algorithm()
+                for a in algorithms:
+                    yields[a].append(by_algo[a].min_yield)
+            counts[J] = count
+            rates[J] = {a: success_rate(yields[a]) for a in algorithms}
+            avgs[J] = {a: average_yield(yields[a]) for a in algorithms}
+            matrices[J] = {
+                (a, b): pairwise_comparison(yields[a], yields[b])
+                for a in algorithms for b in algorithms if a != b
+            }
+    finally:
+        if store is not None and store is not checkpoint:
+            store.close()
     return Table1Data(algorithms, matrices, rates, avgs, counts)
 
 

@@ -16,8 +16,9 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from .config import GridSpec
+from .persistence import as_result_store
 from .report import format_table
-from .runner import TaskResult, run_grid
+from .runner import ProgressCallback, TaskResult, iter_grid
 
 __all__ = ["Table2Data", "run_table2", "format_table2",
            "DEFAULT_TABLE2_ALGORITHMS"]
@@ -34,19 +35,31 @@ class Table2Data:
 
 def run_table2(grid: GridSpec,
                algorithms: Sequence[str] = DEFAULT_TABLE2_ALGORITHMS,
-               workers: int | None = None) -> Table2Data:
+               workers: int | None = None,
+               *,
+               checkpoint=None,
+               resume: bool = False,
+               window: int | None = None,
+               progress: ProgressCallback | None = None) -> Table2Data:
     algorithms = tuple(algorithms)
     means: dict[int, dict[str, float]] = {}
     counts: dict[int, int] = {}
-    for J in grid.services:
-        results = run_grid(grid.configs(services=J), algorithms,
-                           workers=workers)
-        counts[J] = len(results)
-        per_algo: dict[str, list[float]] = {a: [] for a in algorithms}
-        for task in results:
-            for r in task.results:
-                per_algo[r.algorithm].append(r.seconds)
-        means[J] = {a: float(np.mean(v)) for a, v in per_algo.items()}
+    store = as_result_store(checkpoint, resume=resume)
+    try:
+        for J in grid.services:
+            count = 0
+            per_algo: dict[str, list[float]] = {a: [] for a in algorithms}
+            for task in iter_grid(grid.configs(services=J), algorithms,
+                                  workers, window=window, checkpoint=store,
+                                  progress=progress):
+                count += 1
+                for r in task.results:
+                    per_algo[r.algorithm].append(r.seconds)
+            counts[J] = count
+            means[J] = {a: float(np.mean(v)) for a, v in per_algo.items()}
+    finally:
+        if store is not None and store is not checkpoint:
+            store.close()
     return Table2Data(algorithms, means, counts)
 
 

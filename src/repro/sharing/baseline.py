@@ -17,7 +17,6 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..core.allocation import Allocation
 from ..core.instance import ProblemInstance
 from .policies import NodeSharingProblem, POLICIES
 

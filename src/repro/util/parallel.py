@@ -6,18 +6,87 @@ The experiment grids (thousands of independent instances) are the classic
 (seeds + parameters, never generator objects or big arrays) so each worker
 regenerates its instance locally — the same discipline an MPI scatter would
 impose, without requiring an MPI runtime.
+
+Two entry points:
+
+* :func:`parallel_map` — materialize every result (small sweeps, chunked
+  ``pool.map`` dispatch).
+* :func:`parallel_imap` — a *streaming* generator that keeps only a bounded
+  window of tasks in flight, so million-task grids run in constant memory
+  and each result can be checkpointed the moment it completes.
+
+Worker failures are wrapped in :class:`TaskError`, which records the index
+and a summary of the offending task — with thousands of grid cells, a bare
+``ZeroDivisionError`` from the pool is otherwise undiagnosable.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import (
+    Callable,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+    TypeVar,
+)
 
-__all__ = ["parallel_map", "default_workers"]
+__all__ = ["TaskError", "default_workers", "parallel_imap",
+           "parallel_imap_cached", "parallel_map"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+_SUMMARY_LIMIT = 200
+
+
+class TaskError(RuntimeError):
+    """A worker raised while processing one task of a sweep.
+
+    Carries the task's position in the input sequence and a truncated
+    ``repr`` of the task descriptor (for grid runs, the scenario config),
+    so a failure deep inside a 100k-cell sweep points at the exact cell.
+    """
+
+    def __init__(self, index: int, task_summary: str, message: str):
+        super().__init__(
+            f"task {index} ({task_summary}) failed: {message}")
+        self.index = index
+        self.task_summary = task_summary
+        self.message = message
+
+    def __reduce__(self):  # keep .index/.task_summary across process pickling
+        return (TaskError, (self.index, self.task_summary, self.message))
+
+
+def _summarize(task: object) -> str:
+    text = repr(task)
+    if len(text) > _SUMMARY_LIMIT:
+        text = text[:_SUMMARY_LIMIT - 3] + "..."
+    return text
+
+
+class _IndexedCall:
+    """Picklable wrapper: run ``fn`` on an ``(index, task)`` pair, wrapping
+    any exception in :class:`TaskError` with the task's coordinates."""
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, pair):
+        index, task = pair
+        try:
+            return self.fn(task)
+        except TaskError:
+            raise
+        except Exception as exc:
+            raise TaskError(index, _summarize(task),
+                            f"{type(exc).__name__}: {exc}") from exc
 
 
 def default_workers() -> int:
@@ -38,16 +107,137 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
 
     Falls back to a serial loop when only one worker is requested or there
     is a single task — this keeps tracebacks readable in tests and avoids
-    pool start-up cost for small sweeps.
+    pool start-up cost for small sweeps.  Worker exceptions are re-raised
+    as :class:`TaskError` naming the failing task.
     """
     tasks = list(tasks)
     if not tasks:
         return []
     workers = workers if workers is not None else default_workers()
     workers = min(workers, len(tasks))
+    call = _IndexedCall(fn)
     if workers <= 1:
-        return [fn(t) for t in tasks]
+        return [call(pair) for pair in enumerate(tasks)]
     if chunksize is None:
         chunksize = max(1, len(tasks) // (workers * 8))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, tasks, chunksize=chunksize))
+        return list(pool.map(call, enumerate(tasks), chunksize=chunksize))
+
+
+def _imap_pairs(fn: Callable[[T], R], pairs: Iterable[tuple[int, T]],
+                workers: int, window: int | None) -> Iterator[R]:
+    """Core windowed submit loop over pre-indexed ``(index, task)`` pairs.
+
+    The indices only feed :class:`TaskError` context, so callers that
+    filter the task stream (the cached merge) can still report positions
+    in the *original* sequence.
+    """
+    pairs = iter(pairs)
+    if workers <= 1:
+        call = _IndexedCall(fn)
+        for pair in pairs:
+            yield call(pair)
+        return
+    if window is None:
+        window = workers * 4
+    window = max(1, window)
+    call = _IndexedCall(fn)
+    head = list(itertools.islice(pairs, 1))
+    if not head:  # empty input: never start a pool
+        return
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        inflight: deque = deque()
+        for pair in itertools.chain(head, itertools.islice(pairs, window - 1)):
+            inflight.append(pool.submit(call, pair))
+        while inflight:
+            result = inflight.popleft().result()
+            for pair in itertools.islice(pairs, 1):
+                inflight.append(pool.submit(call, pair))
+            yield result
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def parallel_imap(fn: Callable[[T], R], tasks: Iterable[T],
+                  workers: int | None = None,
+                  window: int | None = None) -> Iterator[R]:
+    """Stream ``fn(task)`` results in input order with bounded look-ahead.
+
+    Unlike :func:`parallel_map`, *tasks* may be an arbitrarily long (even
+    infinite) iterable: at most *window* tasks are pulled ahead of the
+    consumer and held in flight, so memory stays constant regardless of
+    grid size.  Results are yielded strictly in submission order — the
+    contract checkpoint/resume relies on.
+
+    With one worker the pool is bypassed entirely and tasks are pulled
+    lazily one at a time.  Closing the generator early cancels all not-yet-
+    started tasks and waits only for the ones already running.
+    """
+    workers = workers if workers is not None else default_workers()
+    return _imap_pairs(fn, enumerate(iter(tasks)), workers, window)
+
+
+def parallel_imap_cached(fn: Callable[[T], R], tasks: Iterable[T],
+                         cache: Mapping[Hashable, R],
+                         key: Callable[[T], Hashable],
+                         workers: int | None = None,
+                         window: int | None = None,
+                         on_computed: Callable[[Hashable, R], None]
+                         | None = None,
+                         progress: Callable[[R, bool], None]
+                         | None = None) -> Iterator[R]:
+    """Like :func:`parallel_imap`, but tasks whose ``key(task)`` is present
+    in *cache* are answered from the cache instead of being executed.
+
+    Results come back in input order regardless of the cached/computed mix,
+    so a resumed sweep is indistinguishable from an uninterrupted one.
+    Freshly computed values are handed to ``on_computed(key, value)`` as
+    they complete — the hook the JSONL checkpoint writers plug into — and
+    every value passes through ``progress(value, cached)`` just before it
+    is yielded.  A :class:`TaskError` still reports the failing task's
+    position in the *original* sequence, cache hits included.  Cached
+    values may legitimately be ``None``; membership, not truthiness,
+    decides a hit.
+    """
+    # In input order: (True, cached_value) for hits, (False, key) for
+    # misses.  The pool pulls ahead of the consumer (window filling), so
+    # this deque buffers the hits encountered along the way.
+    flags: deque = deque()
+
+    def pending() -> Iterator[tuple[int, T]]:
+        for index, task in enumerate(tasks):
+            k = key(task)
+            if k in cache:
+                flags.append((True, cache[k]))
+            else:
+                flags.append((False, k))
+                yield index, task
+
+    def emit(value: R, cached: bool) -> R:
+        if progress is not None:
+            progress(value, cached)
+        return value
+
+    workers = workers if workers is not None else default_workers()
+    computed = _imap_pairs(fn, pending(), workers, window)
+    try:
+        while True:
+            while flags and flags[0][0]:
+                yield emit(flags.popleft()[1], True)
+            try:
+                value = next(computed)
+            except StopIteration:
+                break
+            # Filling the window may have buffered more hits that precede
+            # the miss this result answers; flush them before it.
+            while flags and flags[0][0]:
+                yield emit(flags.popleft()[1], True)
+            _, k = flags.popleft()
+            if on_computed is not None:
+                on_computed(k, value)
+            yield emit(value, False)
+        while flags:  # trailing cache hits after the last computed task
+            yield emit(flags.popleft()[1], True)
+    finally:
+        computed.close()

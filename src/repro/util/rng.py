@@ -10,7 +10,6 @@ child streams.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
 
 import numpy as np
 

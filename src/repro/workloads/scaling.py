@@ -16,7 +16,6 @@ experiment instances:
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.instance import ProblemInstance
 from ..core.service import ServiceArray

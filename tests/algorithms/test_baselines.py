@@ -1,7 +1,6 @@
 """Tests for the extra baselines: exact MILP algorithm and random placement."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms import metahvp, milp_exact, random_placement
 from repro.core import Node, ProblemInstance, Service

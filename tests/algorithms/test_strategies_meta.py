@@ -16,7 +16,6 @@ from repro.algorithms.vector_packing import (
     hvp_light_strategies,
     hvp_strategies,
     meta_packer,
-    strategy_packer,
     vp_strategies,
 )
 from repro.algorithms.vector_packing.sorting import MAX

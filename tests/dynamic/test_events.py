@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dynamic import WorkloadTrace, generate_trace
+from repro.dynamic import generate_trace
 from repro.dynamic.events import ServiceEvent
 
 

@@ -1,6 +1,5 @@
 """Tests for the dynamic hosting-platform simulator."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms import metahvp_light

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.experiments.analysis import (
-    MeanCI,
     bootstrap_mean_ci,
     paired_difference_ci,
     win_loss_tie,

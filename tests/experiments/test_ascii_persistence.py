@@ -1,6 +1,5 @@
 """Tests for ASCII chart rendering and results persistence."""
 
-import os
 
 import pytest
 

@@ -2,7 +2,6 @@
 
 import os
 
-import pytest
 
 from repro.experiments.report import (
     ensure_dir,

@@ -4,7 +4,6 @@ These use SMOKE-scale grids (8 hosts, 16 services) so the full pipeline
 runs in seconds while still exercising every code path.
 """
 
-import dataclasses
 
 import pytest
 

@@ -3,13 +3,11 @@
 import pytest
 
 from repro.experiments.strategy_ranking import (
-    StrategyRanking,
-    StrategyStats,
     format_ranking,
     light_set_audit,
     rank_strategies,
 )
-from repro.algorithms.vector_packing import VPStrategy, hvp_strategies
+from repro.algorithms.vector_packing import hvp_strategies
 from repro.workloads import ScenarioConfig
 
 

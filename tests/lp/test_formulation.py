@@ -1,7 +1,6 @@
 """Tests for the MILP formulation matrices (Eqs. 1-7)."""
 
 import numpy as np
-import pytest
 
 from repro.core import Node, ProblemInstance, Service
 from repro.lp.formulation import build_formulation, _forbidden_pairs

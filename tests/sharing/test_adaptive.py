@@ -1,6 +1,5 @@
 """Tests for the adaptive threshold controller and its simulator hook."""
 
-import numpy as np
 import pytest
 
 from repro.sharing.adaptive import AdaptiveThreshold

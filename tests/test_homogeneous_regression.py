@@ -21,7 +21,6 @@ import pytest
 from repro.algorithms import metahvp, metavp
 from repro.algorithms.vector_packing import PackingState, best_fit
 from repro.algorithms.vector_packing.permutation_pack import _bin_dim_rank
-from repro.core import ProblemInstance
 from repro.workloads import ScenarioConfig, generate_instance
 
 

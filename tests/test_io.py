@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.core import Allocation, Node, ProblemInstance, Service
+from repro.core import Allocation
 from repro.io import (
     allocation_from_dict,
     allocation_to_dict,

@@ -8,7 +8,6 @@ from repro.workloads import (
     generate_base_instance,
     generate_instance,
     normalize_cpu_needs,
-    scale_instance,
     scale_memory_to_slack,
 )
 
