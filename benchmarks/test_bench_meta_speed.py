@@ -1,0 +1,145 @@
+"""Benchmark: probe-engine v2 vs the seed METAHVP engine.
+
+Solves the reference instances with both engines, asserts certified-yield
+equivalence, and records wall-clock numbers to
+``benchmarks/output/BENCH_meta.json``.  The committed baseline
+``benchmarks/BENCH_meta.json`` starts the perf trajectory; two gates
+guard it:
+
+* a hard wall-clock floor — the v2 sweep must stay >= ``MIN_SPEEDUP``×
+  faster than the seed engine on the same machine (a same-run ratio, so
+  it holds on slow CI hosts);
+* a deterministic work gate — v2's total strategy executions on the
+  reference grid are machine-invariant, so growing >20% over the
+  committed baseline means the engine structurally regressed (lost
+  memoization or adaptive-ordering effectiveness), not that the host was
+  noisy.
+
+Refresh the committed baseline after an intentional change with::
+
+    REPRO_BENCH_UPDATE=1 python -m pytest benchmarks/test_bench_meta_speed.py
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.algorithms.vector_packing import MetaProbeEngine, hvp_strategies
+from repro.algorithms.vector_packing.meta import meta_algorithm
+from repro.algorithms.yield_search import (
+    DEFAULT_TOLERANCE,
+    binary_search_max_yield,
+)
+from repro.experiments.report import format_table
+from repro.workloads import ScenarioConfig, generate_instance
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_meta.json")
+
+#: Engine-v2 acceptance floor: METAHVP sweep at least this much faster.
+MIN_SPEEDUP = 3.0
+#: Deterministic regression gate: strategy executions may grow this much.
+MAX_WORK_GROWTH = 1.2
+
+REFERENCE_INSTANCES = [
+    ScenarioConfig(hosts=12, services=48, cov=cov, slack=slack,
+                   seed=2012, instance_index=0)
+    for cov in (0.25, 0.75)
+    for slack in (0.4, 0.6)
+]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """Solve every reference instance with both engines, timed."""
+    strategies = hvp_strategies()
+    rows = []
+    for cfg in REFERENCE_INSTANCES:
+        inst = generate_instance(cfg)
+        out = {"label": cfg.label()}
+
+        v1 = meta_algorithm("METAHVP", strategies, improve=False,
+                            engine="v1")
+        t0 = time.perf_counter()
+        alloc = v1(inst)
+        out["seconds_v1"] = time.perf_counter() - t0
+        out["yield_v1"] = None if alloc is None else alloc.minimum_yield()
+
+        engine = MetaProbeEngine(inst, strategies)
+        t0 = time.perf_counter()
+        alloc = binary_search_max_yield(inst, engine, improve=False)
+        out["seconds_v2"] = time.perf_counter() - t0
+        out["yield_v2"] = None if alloc is None else alloc.minimum_yield()
+        out["probes_v2"] = engine.probes
+        out["strategy_runs_v2"] = engine.strategy_runs
+        rows.append(out)
+    return rows
+
+
+def test_engine_v2_certifies_identical_yields(sweep):
+    for row in sweep:
+        y1, y2 = row["yield_v1"], row["yield_v2"]
+        assert (y1 is None) == (y2 is None), row["label"]
+        if y1 is not None:
+            assert y2 == pytest.approx(y1, abs=DEFAULT_TOLERANCE), row["label"]
+
+
+def test_speedup_and_record(sweep, emit, output_dir):
+    total_v1 = sum(r["seconds_v1"] for r in sweep)
+    total_v2 = sum(r["seconds_v2"] for r in sweep)
+    total_runs = sum(r["strategy_runs_v2"] for r in sweep)
+    speedup = total_v1 / total_v2
+
+    table = format_table(
+        ("instance", "v1 yield", "v2 yield", "v1 t", "v2 t", "speedup",
+         "v2 runs"),
+        [(r["label"],
+          "-" if r["yield_v1"] is None else f"{r['yield_v1']:.4f}",
+          "-" if r["yield_v2"] is None else f"{r['yield_v2']:.4f}",
+          f"{r['seconds_v1']:.2f}s", f"{r['seconds_v2']:.2f}s",
+          f"{r['seconds_v1'] / r['seconds_v2']:.1f}x",
+          r["strategy_runs_v2"]) for r in sweep],
+        title=f"METAHVP probe engine v1 (seed) vs v2 — overall "
+              f"{speedup:.1f}x")
+    emit("meta_speed", table)
+
+    record = {
+        "suite": "metahvp-probe-engine",
+        "engines": {
+            "v1": "seed engine: fresh probe context per probe, fixed "
+                  "strategy order, legacy kernels",
+            "v2": "shared-probe factory + adaptive strategy ordering + "
+                  "vectorized kernels",
+        },
+        "instances": sweep,
+        "total_seconds": {"v1": round(total_v1, 3),
+                          "v2": round(total_v2, 3)},
+        "strategy_runs_v2": total_runs,
+        "speedup": round(speedup, 2),
+    }
+    with open(os.path.join(output_dir, "BENCH_meta.json"), "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+
+    if os.environ.get("REPRO_BENCH_UPDATE"):
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"engine v2 is only {speedup:.2f}x faster than the seed engine "
+        f"(acceptance floor {MIN_SPEEDUP}x)")
+
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+        ceiling = MAX_WORK_GROWTH * baseline["strategy_runs_v2"]
+        assert total_runs <= ceiling, (
+            f"engine v2 work regressed: {total_runs} strategy executions "
+            f"vs committed baseline {baseline['strategy_runs_v2']} "
+            f"(ceiling {ceiling:.0f})")
+        # Cross-machine wall-clock drift is informational only — the
+        # committed ratio was measured on a different host.
+        print(f"speedup {speedup:.2f}x vs committed baseline "
+              f"{baseline['speedup']:.2f}x")

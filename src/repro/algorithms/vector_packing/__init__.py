@@ -12,6 +12,7 @@ from .meta import (
     strategy_packer,
 )
 from .permutation_pack import permutation_pack, rank_from_order
+from .probe_engine import FastProbeContext, MetaProbeEngine, YieldProbeFactory
 from .sorting import ALL_SORTS, NONE_SORT, SortStrategy, metric_values, order_indices
 from .state import PackingState
 from .strategies import (
@@ -21,6 +22,7 @@ from .strategies import (
     PP,
     ProbeContext,
     VPStrategy,
+    execute_strategy,
     hvp_light_strategies,
     hvp_strategies,
     run_strategy,
@@ -32,13 +34,17 @@ __all__ = [
     "BF",
     "CP",
     "FF",
+    "FastProbeContext",
+    "MetaProbeEngine",
     "NONE_SORT",
     "PP",
     "PackingState",
     "ProbeContext",
     "SortStrategy",
     "VPStrategy",
+    "YieldProbeFactory",
     "best_fit",
+    "execute_strategy",
     "first_fit",
     "hvp_light_strategies",
     "hvp_strategies",

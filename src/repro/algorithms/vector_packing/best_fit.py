@@ -34,10 +34,16 @@ def best_fit(state: PackingState, item_order: np.ndarray,
         fits = state.bins_fitting_item(j)
         if not fits.any():
             return False
+        # ``load_sum`` is maintained incrementally by ``place`` — an O(H)
+        # read per item instead of a fresh (H, D) reduction.  The
+        # accumulation order differs from the legacy reduction, so scores
+        # can drift by an ULP; an exact cross-bin score tie could then
+        # break toward a different (equally loaded) bin.  Engine
+        # equivalence is asserted on certified yields, which absorbs this.
         if by_remaining_capacity:
-            score = (state.bin_agg - state.loads).sum(axis=1)
+            score = state.bin_agg_sum - state.load_sum
         else:
-            score = -state.loads.sum(axis=1)
+            score = -state.load_sum
         # Among fitting bins pick the minimal score; break ties by index
         # (masked argmin is stable on first occurrence).
         score = np.where(fits, score, np.inf)

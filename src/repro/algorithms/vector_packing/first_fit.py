@@ -4,6 +4,15 @@ Items are considered in the given sort order; each goes to the first bin
 (in the given bin order) that fits.  The homogeneous VP variant uses the
 natural bin order; the heterogeneous variant receives bins pre-sorted by a
 capacity metric.
+
+Kernel: item-by-item First-Fit is equivalent to filling the bins one at a
+time — an item lands on bin *h* iff it fits the load built by the earlier
+items already on *h*, a decision independent of every other bin.  Filling
+one bin greedily in item order is then a straight scan.  For the paper's
+2-D instances the scan runs on Python floats (per-item numpy calls cost
+more than the arithmetic at J≈100); the general-D path does the same scan
+with a vectorized cumulative-sum over the candidate segment.  The seed
+per-item kernel survives in :mod:`.legacy` as the equivalence baseline.
 """
 
 from __future__ import annotations
@@ -21,11 +30,81 @@ def first_fit(state: PackingState, item_order: np.ndarray,
 
     ``item_order`` and ``bin_order`` are index arrays (permutations).
     """
-    for j in item_order:
-        fits = state.bins_fitting_item(j)
-        ordered_fits = fits[bin_order]
-        pos = np.argmax(ordered_fits)
-        if not ordered_fits[pos]:
-            return False
-        state.place(j, int(bin_order[pos]))
-    return True
+    if state.item_agg.shape[1] == 2:
+        return _first_fit_2d(state, item_order, bin_order)
+    return _first_fit_general(state, item_order, bin_order)
+
+
+def _first_fit_2d(state: PackingState, item_order: np.ndarray,
+                  bin_order: np.ndarray) -> bool:
+    """Scalar fast path: greedy per-bin fill on Python floats."""
+    agg = state.item_agg_rows
+    elem_ok = state.elem_ok_rows
+    pending = [int(j) for j in item_order]
+    for h in bin_order:
+        if not pending:
+            break
+        h = int(h)
+        l0 = float(state.loads[h, 0])
+        l1 = float(state.loads[h, 1])
+        c0 = float(state.bin_cap_tol[h, 0])
+        c1 = float(state.bin_cap_tol[h, 1])
+        taken = []
+        rest = []
+        for j in pending:
+            a = agg[j]
+            if elem_ok[j][h] and l0 + a[0] <= c0 and l1 + a[1] <= c1:
+                l0 += a[0]
+                l1 += a[1]
+                taken.append(j)
+            else:
+                rest.append(j)
+        if taken:
+            state.commit_bin(taken, h, (l0, l1))
+            pending = rest
+    return not pending
+
+
+def _first_fit_general(state: PackingState, item_order: np.ndarray,
+                       bin_order: np.ndarray) -> bool:
+    """Vectorized cumulative-sum fill for D != 2."""
+    item_agg = state.item_agg
+    pending = np.asarray(item_order, dtype=np.int64)
+    for h in bin_order:
+        if pending.size == 0:
+            break
+        h = int(h)
+        allowed = state.elem_ok[pending, h]
+        cands = pending[allowed]                       # still in item order
+        if cands.size == 0:
+            continue
+        cap = state.bin_cap_tol[h] - state.loads[h]    # (D,)
+        taken = np.zeros(cands.size, dtype=bool)
+        base = np.zeros_like(cap)
+        start = 0
+        while start < cands.size:
+            seg = cands[start:]
+            csum = base + np.cumsum(item_agg[seg], axis=0)
+            fits = (csum <= cap).all(axis=1)
+            k = int(np.argmin(fits))                   # first violation
+            if fits[k]:
+                taken[start:] = True                   # whole tail fits
+                break
+            taken[start:start + k] = True
+            if k > 0:
+                base = csum[k - 1]
+            # Item seg[k] pushed the running load over capacity.  Any
+            # following item that does not fit *alone* at the new load can
+            # never fit this bin (the load only grows): jump straight to
+            # the first one that does.
+            alone = (base + item_agg[seg[k:]] <= cap).all(axis=1)
+            m = int(np.argmax(alone))
+            if not alone[m]:
+                break                                  # bin exhausted
+            start += k + m
+        if taken.any():
+            state.place_many(cands[taken], h)
+            keep = np.ones(pending.size, dtype=bool)
+            keep[np.flatnonzero(allowed)[taken]] = False
+            pending = pending[keep]
+    return pending.size == 0

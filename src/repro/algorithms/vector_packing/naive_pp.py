@@ -48,10 +48,9 @@ def permutation_pack_naive(
             # (descending demand).  Items within a list are ordered by the
             # item sort criterion.
             lists: dict[tuple[int, ...], list[int]] = {p: [] for p in all_perms}
+            item_perm = state.item_dim_perm
             for j in cands[np.argsort(item_sort_rank[cands], kind="stable")]:
-                perm = tuple(
-                    np.argsort(-state.item_agg[j], kind="stable").tolist())
-                lists[perm].append(int(j))
+                lists[tuple(item_perm[j].tolist())].append(int(j))
             # Probe lists in the lexicographic order induced by the bin's
             # dimension ranking: the list whose mapped key is smallest
             # first.  bin_rank[d] is the bin's rank of dimension d.

@@ -14,6 +14,25 @@ overall (or ``O(J²w)`` with a window).
 Windowing: with ``window = w < D`` only the first *w* key positions are
 compared (Permutation Pack), and Choose Pack further ignores their relative
 order (compares the sorted window).  With ``w = 1`` the two coincide.
+
+Kernel notes (the seed loop survives in :mod:`.legacy`):
+
+* the per-item dimension permutation depends only on demands, fixed for
+  the probe, so it comes hoisted from ``state.item_dim_perm``;
+* selection packs the ``w`` key digits plus the item-sort tie-break rank
+  into one int64 per item — a total order, so "lexicographically smallest
+  fitting key" is a plain minimum.  The packed codes depend on the bin
+  only through its dimension ranking, of which there are at most ``D!``
+  (two, in the paper's 2-D setting), so they are computed once per
+  ranking per strategy run;
+* on 2-D instances each bin is filled by walking the (at most two)
+  code-sorted candidate lists with per-ranking pointers and Python-float
+  fit checks: a candidate that fails a fit check is dead for this bin
+  forever (remaining capacity never grows), so every candidate is visited
+  O(1) times per ranking and the inner loop does no numpy calls at all;
+* the general-D path keeps the same selection rule with an ``argmin``
+  over sentinel-masked code arrays and bulk retirement of no-longer-
+  fitting candidates.
 """
 
 from __future__ import annotations
@@ -23,6 +42,9 @@ import numpy as np
 from .state import PackingState
 
 __all__ = ["permutation_pack", "rank_from_order"]
+
+_SENTINEL = np.iinfo(np.int64).max
+_MAX_CACHED_RANKINGS = 64
 
 
 def rank_from_order(order: np.ndarray) -> np.ndarray:
@@ -55,6 +77,44 @@ def _bin_dim_rank(state: PackingState, h: int, by_remaining: bool) -> np.ndarray
     return rank
 
 
+def _bin_dim_rank_tuple(state: PackingState, h: int,
+                        by_remaining: bool) -> tuple[int, ...]:
+    """:func:`_bin_dim_rank` as a hashable tuple."""
+    return tuple(int(r) for r in _bin_dim_rank(state, h, by_remaining))
+
+
+def _make_codes(state: PackingState, item_sort_rank: np.ndarray,
+                w: int, choose_pack: bool):
+    """Per-ranking packed-code builder for one strategy run.
+
+    Returns ``codes_for(ranking) -> (J,) int64`` where smaller code means
+    "selected earlier": the ``w`` mapped key digits (base ``D``) followed
+    by the item-sort tie-break rank.
+    """
+    D = state.item_agg.shape[1]
+    J = state.num_items
+    item_perm_w = state.item_dim_perm[:, :w]             # (J, w), hoisted
+    tie_rank = np.asarray(item_sort_rank, dtype=np.int64)
+    cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    def codes_for(ranking: tuple[int, ...]) -> np.ndarray:
+        codes = cache.get(ranking)
+        if codes is None:
+            rank_arr = np.asarray(ranking, dtype=np.int64)
+            keys = rank_arr[item_perm_w]                 # (J, w)
+            if choose_pack and w > 1:
+                keys = np.sort(keys, axis=1)
+            code = keys[:, 0]
+            for c in range(1, w):
+                code = code * D + keys[:, c]
+            codes = code * (J + 1) + tie_rank
+            if len(cache) < _MAX_CACHED_RANKINGS:
+                cache[ranking] = codes
+        return codes
+
+    return codes_for
+
+
 def permutation_pack(
     state: PackingState,
     item_sort_rank: np.ndarray,
@@ -83,27 +143,131 @@ def permutation_pack(
     """
     D = state.item_agg.shape[1]
     w = D if window is None else max(1, min(window, D))
+    J = state.num_items
+    if D ** w * (J + 1) >= 2 ** 62:  # pragma: no cover - astronomical D
+        from .legacy import legacy_permutation_pack
+        return legacy_permutation_pack(
+            state, item_sort_rank, bin_order, window=window,
+            choose_pack=choose_pack,
+            rank_bins_by_remaining=rank_bins_by_remaining)
+    codes_for = _make_codes(state, item_sort_rank, w, choose_pack)
+    if D == 2:
+        return _pp_2d(state, codes_for, bin_order, rank_bins_by_remaining)
+    return _pp_general(state, codes_for, bin_order, rank_bins_by_remaining)
 
+
+def _pp_2d(state: PackingState, codes_for, bin_order,
+           by_remaining: bool) -> bool:
+    """Pointer-walk fast path for 2-D instances (see module docstring)."""
+    agg = state.item_agg_rows
+    elem_ok = state.elem_ok_rows
+    pending = [int(j) for j in state.unplaced_items()]
+    for h in bin_order:
+        if not pending:
+            break
+        h = int(h)
+        l0 = float(state.loads[h, 0])
+        l1 = float(state.loads[h, 1])
+        c0 = float(state.bin_cap_tol[h, 0])
+        c1 = float(state.bin_cap_tol[h, 1])
+        if by_remaining:
+            b0 = float(state.bin_agg[h, 0])
+            b1 = float(state.bin_agg[h, 1])
+        else:
+            b0 = b1 = 0.0
+        k0 = l0 - b0
+        k1 = l1 - b1
+        K = len(pending)
+        # Sorted candidate positions per ranking, built lazily: ranking 0
+        # is (0, 1) — dimension 0 emptier or tied — ranking 1 is (1, 0).
+        orders: list = [None, None]
+        ptrs = [0, 0]
+        dead = bytearray(K)
+        taken = []
+        while True:
+            r = 0 if k0 <= k1 else 1
+            lst = orders[r]
+            if lst is None:
+                codes = codes_for((0, 1) if r == 0 else (1, 0))
+                lst = orders[r] = np.argsort(codes[pending]).tolist()
+            p = ptrs[r]
+            sel = -1
+            while p < K:
+                pos = lst[p]
+                if dead[pos]:
+                    p += 1
+                    continue
+                a = agg[pending[pos]]
+                if elem_ok[pending[pos]][h] \
+                        and l0 + a[0] <= c0 and l1 + a[1] <= c1:
+                    sel = pos
+                    break
+                # Unfit now means unfit for good on this bin.
+                dead[pos] = 1
+                p += 1
+            ptrs[r] = p
+            if sel < 0:
+                break                                    # bin exhausted
+            j = pending[sel]
+            a = agg[j]
+            l0 += a[0]
+            l1 += a[1]
+            k0 = l0 - b0
+            k1 = l1 - b1
+            dead[sel] = 1
+            taken.append(j)
+            if len(taken) == K:
+                break
+        if taken:
+            state.commit_bin(taken, h, (l0, l1))
+            if state.complete:
+                return True
+            taken_set = set(taken)
+            pending = [j for j in pending if j not in taken_set]
+    return state.complete
+
+
+def _pp_general(state: PackingState, codes_for, bin_order,
+                by_remaining: bool) -> bool:
+    """Sentinel-masked argmin selection for D != 2."""
+    item_agg = state.item_agg
     for h in bin_order:
         h = int(h)
-        while not state.complete:
-            cands = state.unplaced_items()
-            fit = state.items_fitting_bin(h, cands)
-            cands = cands[fit]
-            if cands.size == 0:
-                break  # bin exhausted, move on
-            bin_rank = _bin_dim_rank(state, h, rank_bins_by_remaining)
-            # Item dimension permutation: descending demand, stable.
-            item_perm = np.argsort(-state.item_agg[cands], axis=1, kind="stable")
-            keys = bin_rank[item_perm][:, :w]               # (K, w)
-            if choose_pack and w > 1:
-                keys = np.sort(keys, axis=1)
-            # Lexicographically smallest key wins; ties fall back to the
-            # item sort rank.  np.lexsort's last key is primary.
-            sort_keys = (item_sort_rank[cands],) + tuple(
-                keys[:, c] for c in range(w - 1, -1, -1))
-            best = cands[np.lexsort(sort_keys)[0]]
-            state.place(int(best), h)
+        if state.complete:
+            return True
+        cands = state.unplaced_items()
+        cands = cands[state.items_fitting_bin(h, cands)]
+        if cands.size == 0:
+            continue
+        cap = state.bin_cap_tol[h]                       # (D,)
+        cand_agg = item_agg[cands]                       # (K, D)
+        dead = np.zeros(cands.size, dtype=bool)
+        # One live code array per bin ranking seen while filling this bin
+        # (at most D!): deaths are written through to all of them so
+        # switching rankings is a dict lookup, not a rebuild.
+        live_codes: dict[tuple[int, ...], np.ndarray] = {}
+        while True:
+            ranking = _bin_dim_rank_tuple(state, h, by_remaining)
+            cand_codes = live_codes.get(ranking)
+            if cand_codes is None:
+                cand_codes = codes_for(ranking)[cands]   # fresh array
+                cand_codes[dead] = _SENTINEL
+                live_codes[ranking] = cand_codes
+            sel = int(np.argmin(cand_codes))
+            if cand_codes[sel] == _SENTINEL:
+                break                                    # bin exhausted
+            state.place(int(cands[sel]), h)
+            dead[sel] = True
+            for arr in live_codes.values():
+                arr[sel] = _SENTINEL
+            if state.complete:
+                break
+            # Bulk-retire candidates the shrunken bin no longer fits.
+            gone = ~dead & (cand_agg > cap - state.loads[h]).any(axis=1)
+            if gone.any():
+                dead |= gone
+                for arr in live_codes.values():
+                    arr[gone] = _SENTINEL
         if state.complete:
             return True
     return state.complete

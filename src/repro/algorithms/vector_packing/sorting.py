@@ -95,7 +95,9 @@ def order_indices(vectors: np.ndarray, strategy: SortStrategy) -> np.ndarray:
     """Indices that order the rows of ``vectors`` per *strategy*.
 
     Sorting is stable, so equal elements keep their natural order — this
-    makes strategy comparisons deterministic and reproducible.
+    makes strategy comparisons deterministic and reproducible.  Descending
+    sorts are stable too: they sort ascending on *negated* keys rather than
+    reversing the ascending order (which would reverse tie order as well).
     """
     vectors = np.asarray(vectors, dtype=np.float64)
     n = vectors.shape[0]
@@ -104,11 +106,10 @@ def order_indices(vectors: np.ndarray, strategy: SortStrategy) -> np.ndarray:
     if strategy.metric == LEX:
         # np.lexsort uses the *last* key as primary; dimension 0 (CPU)
         # must be the primary comparison per the paper.
-        keys = tuple(vectors[:, d] for d in range(vectors.shape[1] - 1, -1, -1))
-        idx = np.lexsort(keys)
-    else:
-        values = metric_values(vectors, strategy.metric)
-        idx = np.argsort(values, kind="stable")
+        cols = -vectors if strategy.descending else vectors
+        keys = tuple(cols[:, d] for d in range(cols.shape[1] - 1, -1, -1))
+        return np.lexsort(keys)
+    values = metric_values(vectors, strategy.metric)
     if strategy.descending:
-        idx = idx[::-1].copy()
-    return idx
+        return np.argsort(-values, kind="stable")
+    return np.argsort(values, kind="stable")

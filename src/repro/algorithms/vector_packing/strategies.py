@@ -40,6 +40,7 @@ __all__ = [
     "FF", "BF", "PP", "CP",
     "VPStrategy",
     "ProbeContext",
+    "execute_strategy",
     "run_strategy",
     "vp_strategies",
     "hvp_strategies",
@@ -84,12 +85,60 @@ class VPStrategy:
         return self.name
 
 
-class ProbeContext:
-    """Shared scratch state for all strategies probed at one (instance, y)."""
+def execute_strategy(state: PackingState, strategy: VPStrategy,
+                     item_order: np.ndarray,
+                     bin_order: Optional[np.ndarray],
+                     legacy: bool = False) -> Optional[np.ndarray]:
+    """Run one strategy on a reset *state*; placement array or ``None``.
 
-    def __init__(self, instance: ProblemInstance, y: float):
+    The single execution core shared by :class:`ProbeContext` and the v2
+    :class:`~.probe_engine.FastProbeContext`.  *bin_order* is ignored for
+    Best-Fit (which imposes its own dynamic bin order).  With
+    ``legacy=True`` the seed kernels of :mod:`.legacy` run instead of the
+    vectorized ones — same placements, used as the equivalence baseline.
+    """
+    if legacy:
+        from .legacy import (
+            legacy_best_fit,
+            legacy_first_fit,
+            legacy_permutation_pack,
+        )
+        ff, bf, pp = legacy_first_fit, legacy_best_fit, legacy_permutation_pack
+    else:
+        ff, bf, pp = first_fit, best_fit, permutation_pack
+    state.reset()
+    if strategy.packer == FF:
+        ok = ff(state, item_order, bin_order)
+    elif strategy.packer == BF:
+        ok = bf(state, item_order, by_remaining_capacity=strategy.hetero)
+    else:
+        ok = pp(
+            state,
+            rank_from_order(item_order),
+            bin_order,
+            window=strategy.window,
+            choose_pack=strategy.packer == CP,
+            rank_bins_by_remaining=strategy.hetero,
+        )
+    return state.result() if ok else None
+
+
+class ProbeContext:
+    """Shared scratch state for all strategies probed at one (instance, y).
+
+    This is the *seed* (v1) probe context: it rebuilds everything per
+    probe.  It runs the vectorized kernels by default; ``legacy=True``
+    switches to the seed kernels of :mod:`.legacy` (identical placements)
+    — the v1 engine's :func:`~.meta.meta_packer` opts in so it stays a
+    faithful performance/equivalence baseline for the shared-probe engine
+    of :mod:`.probe_engine`.
+    """
+
+    def __init__(self, instance: ProblemInstance, y: float,
+                 legacy: bool = False):
         self.state = PackingState(instance, y)
         self.infeasible = self.state.trivially_infeasible()
+        self.legacy = legacy
         self._item_orders: dict[SortStrategy, np.ndarray] = {}
         self._bin_orders: dict[SortStrategy, np.ndarray] = {}
 
@@ -111,24 +160,11 @@ class ProbeContext:
         """Run one strategy on a clean state; placement array or ``None``."""
         if self.infeasible:
             return None
-        state = self.state
-        state.reset()
-        item_order = self.item_order(strategy.item_sort)
-        if strategy.packer == FF:
-            ok = first_fit(state, item_order, self.bin_order(strategy.bin_sort))
-        elif strategy.packer == BF:
-            ok = best_fit(state, item_order,
-                          by_remaining_capacity=strategy.hetero)
-        else:
-            ok = permutation_pack(
-                state,
-                rank_from_order(item_order),
-                self.bin_order(strategy.bin_sort),
-                window=strategy.window,
-                choose_pack=strategy.packer == CP,
-                rank_bins_by_remaining=strategy.hetero,
-            )
-        return state.result() if ok else None
+        bin_order = (None if strategy.packer == BF
+                     else self.bin_order(strategy.bin_sort))
+        return execute_strategy(self.state, strategy,
+                                self.item_order(strategy.item_sort), bin_order,
+                                legacy=self.legacy)
 
 
 def run_strategy(strategy: VPStrategy, instance: ProblemInstance,

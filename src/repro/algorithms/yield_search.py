@@ -22,7 +22,10 @@ __all__ = ["binary_search_max_yield", "DEFAULT_TOLERANCE"]
 
 DEFAULT_TOLERANCE = 1e-4
 
-# A packer answers: "placement achieving uniform yield y, or None".
+# A packer answers: "placement achieving uniform yield y, or None".  It may
+# be a plain function or a stateful callable (e.g. the adaptive
+# MetaProbeEngine, which carries a strategy hint between probes) — the
+# search only relies on call-by-call answers.
 Packer = Callable[[ProblemInstance, float], Optional[np.ndarray]]
 
 

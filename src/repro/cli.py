@@ -117,6 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
     rk.add_argument("--hosts", type=int, default=8)
     rk.add_argument("--instances", type=int, default=4)
     rk.add_argument("--top", type=int, default=25)
+    rk.add_argument("--engine", choices=("v1", "v2"), default="v2",
+                    help="probe engine: v2 shares per-instance "
+                         "precomputation across strategies (default); "
+                         "v1 is the seed engine")
 
     dy = sub.add_parser("dynamic",
                         help="dynamic hosting simulation (future-work)")
@@ -338,7 +342,8 @@ def _cmd_rank_strategies(args) -> None:
         for idx in range(max(1, args.instances // 2))
     ]
     kwargs = _run_kwargs(args, "rank-strategies")
-    ranking = rank_strategies(configs, workers=args.workers, **kwargs)
+    ranking = rank_strategies(configs, workers=args.workers,
+                              engine=args.engine, **kwargs)
     kwargs["progress"].finish()
     _emit(args, "strategy-ranking", format_ranking(ranking, top_n=args.top))
 

@@ -23,11 +23,14 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..algorithms.vector_packing import (
+    MetaProbeEngine,
     VPStrategy,
+    YieldProbeFactory,
     hvp_light_strategies,
     hvp_strategies,
 )
-from ..algorithms.vector_packing.meta import single_strategy_algorithm
+from ..algorithms.vector_packing.meta import DEFAULT_ENGINE, single_strategy_algorithm
+from ..algorithms.yield_search import binary_search_max_yield
 from ..util.parallel import parallel_imap_cached
 from ..workloads import ScenarioConfig, generate_instance
 from .persistence import as_jsonl_checkpoint, fingerprinted_cache, scenario_key
@@ -79,15 +82,43 @@ class StrategyRanking:
 class _StrategyTask:
     strategy_index: int
     configs: tuple[ScenarioConfig, ...]
+    engine: str = DEFAULT_ENGINE
+
+
+#: Per-process cache of (config → YieldProbeFactory): all 253 strategy
+#: tasks evaluated in one worker share the instance and its per-instance
+#: probe precomputation (yield-threshold tables, static bin orders).
+_FACTORY_CACHE: dict[ScenarioConfig, YieldProbeFactory] = {}
+_FACTORY_CACHE_MAX = 8
+
+
+def _probe_factory(cfg: ScenarioConfig) -> YieldProbeFactory:
+    factory = _FACTORY_CACHE.get(cfg)
+    if factory is None:
+        if len(_FACTORY_CACHE) >= _FACTORY_CACHE_MAX:
+            _FACTORY_CACHE.clear()
+        factory = YieldProbeFactory(generate_instance(cfg))
+        _FACTORY_CACHE[cfg] = factory
+    return factory
 
 
 def _evaluate_strategy(task: _StrategyTask) -> StrategyStats:
     strategy = hvp_strategies()[task.strategy_index]
-    algo = single_strategy_algorithm(strategy)
+    if task.engine == "v1":
+        algo = single_strategy_algorithm(strategy, engine="v1")
+
+        def solve(cfg):
+            return algo(generate_instance(cfg))
+    else:
+        def solve(cfg):
+            factory = _probe_factory(cfg)
+            oracle = MetaProbeEngine(factory.instance, (strategy,),
+                                     factory=factory)
+            return binary_search_max_yield(factory.instance, oracle)
     yields = []
     successes = 0
     for cfg in task.configs:
-        alloc = algo(generate_instance(cfg))
+        alloc = solve(cfg)
         if alloc is not None:
             successes += 1
             yields.append(alloc.minimum_yield())
@@ -99,8 +130,11 @@ def _evaluate_strategy(task: _StrategyTask) -> StrategyStats:
     )
 
 
-def _configs_fingerprint(configs: Sequence[ScenarioConfig]) -> str:
-    blob = json.dumps([scenario_key(c) for c in configs])
+def _configs_fingerprint(configs: Sequence[ScenarioConfig],
+                         engine: str) -> str:
+    # The engine is part of the identity: v1/v2 certify equal yields only
+    # up to the search tolerance, so their checkpoints must not mix.
+    blob = json.dumps([[scenario_key(c) for c in configs], engine])
     return hashlib.sha1(blob.encode()).hexdigest()[:12]
 
 
@@ -126,18 +160,22 @@ def rank_strategies(configs: Sequence[ScenarioConfig],
                     checkpoint=None,
                     resume: bool = False,
                     window: int | None = None,
-                    progress=None) -> StrategyRanking:
+                    progress=None,
+                    engine: str = DEFAULT_ENGINE) -> StrategyRanking:
     """Evaluate every basic HVP strategy on *configs* and rank them.
 
     With *checkpoint*/``resume=True``, per-strategy stats are persisted as
     they complete and already-evaluated strategies (for this exact config
-    set) are answered from disk.
+    set and probe engine) are answered from disk.  *engine* selects the
+    probe engine ("v2" shares per-instance precomputation across all
+    strategies evaluated in a worker process; "v1" is the seed path).
     """
     configs = tuple(configs)
-    tasks = [_StrategyTask(i, configs) for i in range(len(hvp_strategies()))]
+    tasks = [_StrategyTask(i, configs, engine)
+             for i in range(len(hvp_strategies()))]
     ckpt = as_jsonl_checkpoint(checkpoint, kind=CHECKPOINT_KIND,
                                resume=resume)
-    fp = _configs_fingerprint(configs)
+    fp = _configs_fingerprint(configs, engine)
     cache = fingerprinted_cache(
         ckpt, fp, lambda key, payload: _decode_stats(key[1], payload))
 

@@ -1,0 +1,104 @@
+"""Property-style tests for the packers and META* combinators.
+
+(a) Any placement any packer returns at a probed yield must pass
+    :class:`Allocation` validation at that yield — the packers and the
+    validator share one feasibility tolerance, so there is no gap for a
+    "packed but invalid" placement to hide in.
+(b) A META* algorithm certifies a yield at least as large as every member
+    strategy's certified yield (§3.5.3), up to the binary-search
+    tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.vector_packing import (
+    ProbeContext,
+    YieldProbeFactory,
+    hvp_light_strategies,
+    hvp_strategies,
+)
+from repro.algorithms.vector_packing.meta import meta_algorithm
+from repro.algorithms.yield_search import DEFAULT_TOLERANCE
+from repro.core import Allocation, Node, ProblemInstance, Service
+
+
+def random_instance(seed, hosts=5, services=14):
+    rng = np.random.default_rng(seed)
+    nodes = [Node.multicore(int(rng.integers(2, 6)),
+                            rng.uniform(0.05, 0.3), rng.uniform(0.3, 1.0))
+             for _ in range(hosts)]
+    svcs = []
+    for _ in range(services):
+        mem = rng.uniform(0.02, 0.2)
+        cpu = rng.uniform(0.02, 0.2)
+        need = rng.uniform(0.05, 0.4)
+        svcs.append(Service.from_vectors(
+            [0.01, mem], [cpu, mem], [0.02, 0.0], [need, 0.0]))
+    return ProblemInstance(nodes, svcs)
+
+
+#: Deterministic slice across all 253 strategies: touches every packer,
+#: many item sorts and many bin sorts without running the full set.
+SAMPLED_STRATEGIES = hvp_strategies()[::17]
+
+
+class TestPlacementsAlwaysValidate:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_v2_probe_placements_validate_at_probed_yield(self, seed):
+        inst = random_instance(seed)
+        factory = YieldProbeFactory(inst)
+        for y in (0.0, 0.25, 0.6):
+            ctx = factory.probe(y)
+            if ctx is None:
+                continue
+            for strategy in SAMPLED_STRATEGIES:
+                placement = ctx.run(strategy)
+                if placement is not None:
+                    Allocation.uniform(inst, placement, y).validate()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_seed_probe_placements_validate_too(self, seed):
+        inst = random_instance(seed + 50)
+        for y in (0.0, 0.3):
+            ctx = ProbeContext(inst, y)
+            if ctx.infeasible:
+                continue
+            for strategy in SAMPLED_STRATEGIES:
+                placement = ctx.run(strategy)
+                if placement is not None:
+                    Allocation.uniform(inst, placement, y).validate()
+
+
+class TestMetaDominatesMembers:
+    MEMBERS = hvp_light_strategies()[::5]      # 12 member strategies
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_meta_certifies_at_least_every_member(self, seed):
+        inst = random_instance(seed, hosts=4, services=10)
+        meta = meta_algorithm("META-sub", self.MEMBERS, improve=False)
+        meta_alloc = meta(inst)
+        member_yields = {}
+        for strategy in self.MEMBERS:
+            alloc = meta_algorithm("m", (strategy,), improve=False)(inst)
+            if alloc is not None:
+                member_yields[strategy.name] = alloc.minimum_yield()
+        if member_yields:
+            # META solves whatever any member solves...
+            assert meta_alloc is not None
+            best = max(member_yields.values())
+            # ...and certifies at least as much, up to the tolerance.
+            assert meta_alloc.minimum_yield() >= best - DEFAULT_TOLERANCE
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_metahvp_light_dominates_members_on_reference(self, seed):
+        inst = random_instance(seed + 30, hosts=4, services=10)
+        meta = meta_algorithm("LIGHT", hvp_light_strategies(),
+                              improve=False)
+        meta_alloc = meta(inst)
+        for strategy in hvp_light_strategies()[::12]:
+            alloc = meta_algorithm("m", (strategy,), improve=False)(inst)
+            if alloc is not None:
+                assert meta_alloc is not None
+                assert (meta_alloc.minimum_yield()
+                        >= alloc.minimum_yield() - DEFAULT_TOLERANCE)

@@ -104,3 +104,35 @@ class TestOrderIndices:
             vals = metric_values(vecs, metric)
             assert (np.diff(vals[asc]) >= -1e-12).all()
             assert (np.diff(vals[desc]) <= 1e-12).all()
+
+    def test_descending_stability_on_ties(self):
+        """Regression: descending used to be implemented as a reversed
+        ascending sort, which reversed tie order too."""
+        vecs = np.array([[0.5, 0.5], [0.5, 0.5], [0.9, 0.9], [0.1, 0.1]])
+        order = order_indices(vecs, SortStrategy(SUM, descending=True))
+        assert order.tolist() == [2, 0, 1, 3]
+
+    def test_descending_lex_ordering_and_stability(self):
+        vecs = np.array([
+            [0.5, 0.1],   # 0
+            [0.5, 0.9],   # 1
+            [0.1, 0.5],   # 2
+            [0.5, 0.9],   # 3 — duplicate of row 1, must stay after it
+        ])
+        order = order_indices(vecs, SortStrategy(LEX, descending=True))
+        # Primary dim 0 descending, ties by dim 1 descending, equal rows
+        # in natural order.
+        assert order.tolist() == [1, 3, 0, 2]
+
+    @given(arrays(np.float64, (12, 2),
+                  elements=st.floats(min_value=0, max_value=3).map(
+                      lambda x: round(x))))  # quantized: force ties
+    def test_ties_keep_natural_order_every_strategy(self, vecs):
+        for strat in ALL_SORTS:
+            if strat.is_none or strat.metric == LEX:
+                continue
+            order = order_indices(vecs, strat)
+            vals = metric_values(vecs, strat.metric)
+            for value in np.unique(vals):
+                group = order[vals[order] == value]
+                assert (np.diff(group) > 0).all(), (strat.name, order)
