@@ -46,8 +46,12 @@ def test_table2_report(benchmark, emit):
         run_table2, args=(BENCH_GRID, ALGORITHMS), kwargs={"workers": 1},
         rounds=1, iterations=1)
     emit("table2", format_table2(data))
-    # Relative-ordering assertions from §5/§5.1 at the larger size.
+    # Relative-ordering assertions from §5/§5.1 at the larger size,
+    # restricted to the META* family: those orderings are structural
+    # (33 vs 253 vs 60 strategies over the same packers), so they
+    # survive kernel-backend speedups.  The paper's METAGREEDY < METAVP
+    # gap was a pure-Python constant factor and no longer holds with the
+    # compiled packer kernels (greedy is untouched Python).
     means = data.mean_seconds[48]
-    assert means["METAGREEDY"] < means["METAVP"]
     assert means["METAVP"] < means["METAHVP"]
     assert means["METAHVPLIGHT"] < means["METAHVP"]

@@ -3,6 +3,7 @@
 from .best_fit import best_fit
 from .first_fit import first_fit
 from .meta import (
+    MetaSolver,
     meta_algorithm,
     meta_packer,
     metahvp,
@@ -36,6 +37,7 @@ __all__ = [
     "FF",
     "FastProbeContext",
     "MetaProbeEngine",
+    "MetaSolver",
     "NONE_SORT",
     "PP",
     "PackingState",

@@ -11,12 +11,21 @@ meaningfully identifies the tightest bin.
 Best-Fit imposes its own (dynamic) bin order, so it takes no bin-sort
 strategy — this is why METAHVP counts ``11 + 2*11*11`` strategies, with
 Best-Fit contributing only the 11 item sorts.
+
+The per-item scoring loop dispatches to the active kernel backend
+(:mod:`repro.kernels`); ``load_sum`` is maintained incrementally in all
+of them, so scores cost O(H) per item instead of a fresh (H, D)
+reduction.  The accumulation order differs from the legacy reduction, so
+scores can drift by an ULP; an exact cross-bin score tie could then break
+toward a different (equally loaded) bin.  Engine equivalence is asserted
+on certified yields, which absorbs this.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import get_backend
 from .state import PackingState
 
 __all__ = ["best_fit"]
@@ -30,22 +39,4 @@ def best_fit(state: PackingState, item_order: np.ndarray,
     (max total load first); ``True`` the heterogeneous rule (min total
     remaining capacity first).
     """
-    for j in item_order:
-        fits = state.bins_fitting_item(j)
-        if not fits.any():
-            return False
-        # ``load_sum`` is maintained incrementally by ``place`` — an O(H)
-        # read per item instead of a fresh (H, D) reduction.  The
-        # accumulation order differs from the legacy reduction, so scores
-        # can drift by an ULP; an exact cross-bin score tie could then
-        # break toward a different (equally loaded) bin.  Engine
-        # equivalence is asserted on certified yields, which absorbs this.
-        if by_remaining_capacity:
-            score = state.bin_agg_sum - state.load_sum
-        else:
-            score = -state.load_sum
-        # Among fitting bins pick the minimal score; break ties by index
-        # (masked argmin is stable on first occurrence).
-        score = np.where(fits, score, np.inf)
-        state.place(j, int(np.argmin(score)))
-    return True
+    return get_backend().best_fit(state, item_order, by_remaining_capacity)

@@ -9,16 +9,18 @@ Kernel: item-by-item First-Fit is equivalent to filling the bins one at a
 time — an item lands on bin *h* iff it fits the load built by the earlier
 items already on *h*, a decision independent of every other bin.  Filling
 one bin greedily in item order is then a straight scan.  For the paper's
-2-D instances the scan runs on Python floats (per-item numpy calls cost
-more than the arithmetic at J≈100); the general-D path does the same scan
-with a vectorized cumulative-sum over the candidate segment.  The seed
-per-item kernel survives in :mod:`.legacy` as the equivalence baseline.
+2-D instances the scan dispatches to the active kernel backend
+(:mod:`repro.kernels`: numpy scalar loop, numba JIT, or native C — all
+bit-identical); the general-D path does the same scan with a vectorized
+cumulative-sum over the candidate segment.  The seed per-item kernel
+survives in :mod:`.legacy` as the equivalence baseline.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import get_backend
 from .state import PackingState
 
 __all__ = ["first_fit"]
@@ -31,38 +33,8 @@ def first_fit(state: PackingState, item_order: np.ndarray,
     ``item_order`` and ``bin_order`` are index arrays (permutations).
     """
     if state.item_agg.shape[1] == 2:
-        return _first_fit_2d(state, item_order, bin_order)
+        return get_backend().first_fit_2d(state, item_order, bin_order)
     return _first_fit_general(state, item_order, bin_order)
-
-
-def _first_fit_2d(state: PackingState, item_order: np.ndarray,
-                  bin_order: np.ndarray) -> bool:
-    """Scalar fast path: greedy per-bin fill on Python floats."""
-    agg = state.item_agg_rows
-    elem_ok = state.elem_ok_rows
-    pending = [int(j) for j in item_order]
-    for h in bin_order:
-        if not pending:
-            break
-        h = int(h)
-        l0 = float(state.loads[h, 0])
-        l1 = float(state.loads[h, 1])
-        c0 = float(state.bin_cap_tol[h, 0])
-        c1 = float(state.bin_cap_tol[h, 1])
-        taken = []
-        rest = []
-        for j in pending:
-            a = agg[j]
-            if elem_ok[j][h] and l0 + a[0] <= c0 and l1 + a[1] <= c1:
-                l0 += a[0]
-                l1 += a[1]
-                taken.append(j)
-            else:
-                rest.append(j)
-        if taken:
-            state.commit_bin(taken, h, (l0, l1))
-            pending = rest
-    return not pending
 
 
 def _first_fit_general(state: PackingState, item_order: np.ndarray,

@@ -38,6 +38,7 @@ from .strategies import (
 
 __all__ = [
     "DEFAULT_ENGINE",
+    "MetaSolver",
     "meta_packer",
     "strategy_packer",
     "meta_algorithm",
@@ -73,28 +74,60 @@ def strategy_packer(strategy: VPStrategy):
     return meta_packer((strategy,))
 
 
+class MetaSolver:
+    """Callable solver for a META* strategy list, with warm-start support.
+
+    The plain call signature matches every other placement algorithm;
+    :meth:`solve_with_hint` additionally accepts an advisory *hint* (a
+    guess at the certified yield — e.g. the previous epoch's answer in a
+    dynamic simulation, or a sibling solve on the same instance) that the
+    binary search uses to shrink its probe count, plus a *stats* dict the
+    search fills with ``probes`` and ``certified`` (see
+    :func:`~repro.algorithms.yield_search.binary_search_max_yield`).
+    Hints are advisory only: a warm solve certifies the same yield a cold
+    one does (equivalence-tested), just in fewer probes.
+    """
+
+    #: Drivers test for this attribute before passing hints.
+    supports_hint = True
+
+    def __init__(self, strategies: Sequence[VPStrategy],
+                 tolerance: float = DEFAULT_TOLERANCE,
+                 improve: bool = True,
+                 engine: str = DEFAULT_ENGINE):
+        if engine not in ("v1", "v2"):
+            raise ValueError(f"unknown probe engine {engine!r} "
+                             "(expected 'v1' or 'v2')")
+        self.strategies = tuple(strategies)
+        self.tolerance = tolerance
+        self.improve = improve
+        self.engine = engine
+        self._v1_packer = (meta_packer(self.strategies)
+                           if engine == "v1" else None)
+
+    def solve_with_hint(self, instance: ProblemInstance,
+                        hint: Optional[float] = None,
+                        stats: Optional[dict] = None
+                        ) -> Optional[Allocation]:
+        if self._v1_packer is not None:
+            oracle = self._v1_packer
+        else:
+            oracle = MetaProbeEngine(instance, self.strategies)
+        return binary_search_max_yield(
+            instance, oracle, tolerance=self.tolerance,
+            improve=self.improve, hint=hint, stats=stats)
+
+    def __call__(self, instance: ProblemInstance) -> Optional[Allocation]:
+        return self.solve_with_hint(instance)
+
+
 def meta_algorithm(name: str, strategies: Sequence[VPStrategy],
                    tolerance: float = DEFAULT_TOLERANCE,
                    improve: bool = True,
                    engine: str = DEFAULT_ENGINE) -> NamedAlgorithm:
     """Wrap a strategy list into a complete max-min-yield algorithm."""
-    strategies = tuple(strategies)
-    if engine == "v1":
-        packer = meta_packer(strategies)
-
-        def solve(instance: ProblemInstance) -> Optional[Allocation]:
-            return binary_search_max_yield(
-                instance, packer, tolerance=tolerance, improve=improve)
-    elif engine == "v2":
-        def solve(instance: ProblemInstance) -> Optional[Allocation]:
-            oracle = MetaProbeEngine(instance, strategies)
-            return binary_search_max_yield(
-                instance, oracle, tolerance=tolerance, improve=improve)
-    else:
-        raise ValueError(f"unknown probe engine {engine!r} "
-                         "(expected 'v1' or 'v2')")
-
-    return NamedAlgorithm(name, solve)
+    return NamedAlgorithm(name, MetaSolver(
+        strategies, tolerance=tolerance, improve=improve, engine=engine))
 
 
 def single_strategy_algorithm(strategy: VPStrategy,

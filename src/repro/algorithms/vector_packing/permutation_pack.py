@@ -26,10 +26,12 @@ Kernel notes (the seed loop survives in :mod:`.legacy`):
   (two, in the paper's 2-D setting), so they are computed once per
   ranking per strategy run;
 * on 2-D instances each bin is filled by walking the (at most two)
-  code-sorted candidate lists with per-ranking pointers and Python-float
-  fit checks: a candidate that fails a fit check is dead for this bin
+  code-sorted candidate lists with per-ranking pointers and scalar fit
+  checks: a candidate that fails a fit check is dead for this bin
   forever (remaining capacity never grows), so every candidate is visited
-  O(1) times per ranking and the inner loop does no numpy calls at all;
+  O(1) times per ranking.  The walk dispatches to the active kernel
+  backend (:mod:`repro.kernels`: numpy scalar loop, numba JIT, or native
+  C — all bit-identical);
 * the general-D path keeps the same selection rule with an ``argmin``
   over sentinel-masked code arrays and bulk retirement of no-longer-
   fitting candidates.
@@ -39,6 +41,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import get_backend
 from .state import PackingState
 
 __all__ = ["permutation_pack", "rank_from_order"]
@@ -152,79 +155,9 @@ def permutation_pack(
             rank_bins_by_remaining=rank_bins_by_remaining)
     codes_for = _make_codes(state, item_sort_rank, w, choose_pack)
     if D == 2:
-        return _pp_2d(state, codes_for, bin_order, rank_bins_by_remaining)
+        return get_backend().permutation_pack_2d(
+            state, codes_for, bin_order, rank_bins_by_remaining)
     return _pp_general(state, codes_for, bin_order, rank_bins_by_remaining)
-
-
-def _pp_2d(state: PackingState, codes_for, bin_order,
-           by_remaining: bool) -> bool:
-    """Pointer-walk fast path for 2-D instances (see module docstring)."""
-    agg = state.item_agg_rows
-    elem_ok = state.elem_ok_rows
-    pending = [int(j) for j in state.unplaced_items()]
-    for h in bin_order:
-        if not pending:
-            break
-        h = int(h)
-        l0 = float(state.loads[h, 0])
-        l1 = float(state.loads[h, 1])
-        c0 = float(state.bin_cap_tol[h, 0])
-        c1 = float(state.bin_cap_tol[h, 1])
-        if by_remaining:
-            b0 = float(state.bin_agg[h, 0])
-            b1 = float(state.bin_agg[h, 1])
-        else:
-            b0 = b1 = 0.0
-        k0 = l0 - b0
-        k1 = l1 - b1
-        K = len(pending)
-        # Sorted candidate positions per ranking, built lazily: ranking 0
-        # is (0, 1) — dimension 0 emptier or tied — ranking 1 is (1, 0).
-        orders: list = [None, None]
-        ptrs = [0, 0]
-        dead = bytearray(K)
-        taken = []
-        while True:
-            r = 0 if k0 <= k1 else 1
-            lst = orders[r]
-            if lst is None:
-                codes = codes_for((0, 1) if r == 0 else (1, 0))
-                lst = orders[r] = np.argsort(codes[pending]).tolist()
-            p = ptrs[r]
-            sel = -1
-            while p < K:
-                pos = lst[p]
-                if dead[pos]:
-                    p += 1
-                    continue
-                a = agg[pending[pos]]
-                if elem_ok[pending[pos]][h] \
-                        and l0 + a[0] <= c0 and l1 + a[1] <= c1:
-                    sel = pos
-                    break
-                # Unfit now means unfit for good on this bin.
-                dead[pos] = 1
-                p += 1
-            ptrs[r] = p
-            if sel < 0:
-                break                                    # bin exhausted
-            j = pending[sel]
-            a = agg[j]
-            l0 += a[0]
-            l1 += a[1]
-            k0 = l0 - b0
-            k1 = l1 - b1
-            dead[sel] = 1
-            taken.append(j)
-            if len(taken) == K:
-                break
-        if taken:
-            state.commit_bin(taken, h, (l0, l1))
-            if state.complete:
-                return True
-            taken_set = set(taken)
-            pending = [j for j in pending if j not in taken_set]
-    return state.complete
 
 
 def _pp_general(state: PackingState, codes_for, bin_order,

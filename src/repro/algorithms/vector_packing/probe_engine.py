@@ -36,6 +36,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ...core.instance import ProblemInstance
+from ...kernels import get_backend
 from .sorting import SortStrategy, order_indices
 from .state import PackingState, capacity_tolerance
 from .strategies import BF, VPStrategy, execute_strategy
@@ -57,14 +58,12 @@ def affine_fit_thresholds(req: np.ndarray, need: np.ndarray,
     the item fits at any yield (no need in the binding dimensions),
     ``-inf`` when it fits at none (a rigid requirement already exceeds
     capacity).  *cap* should already include the feasibility tolerance.
+
+    Dispatches to the active kernel backend (:mod:`repro.kernels`); the
+    compiled backends build the table without the ``(J, H, D)``
+    temporaries of the numpy broadcast.
     """
-    slack = cap[None, :, :] - req[:, None, :]          # (J, H, D)
-    need_b = need[:, None, :]
-    rigid = np.where(slack >= 0, np.inf, -np.inf)
-    thr = np.where(need_b > 0,
-                   slack / np.where(need_b > 0, need_b, 1.0),
-                   rigid)
-    return thr.min(axis=2)
+    return get_backend().affine_fit_thresholds(req, need, cap)
 
 
 class YieldProbeFactory:

@@ -1,4 +1,4 @@
-"""Binary search over the uniform yield (§3.5).
+"""Binary search over the uniform yield (§3.5), with warm starts.
 
 For a fixed yield ``y`` every service's demand is fixed at
 ``(r^e + y n^e, r^a + y n^a)``, so any bin-packing heuristic answers the
@@ -7,6 +7,25 @@ the objective is the *minimum* yield, it is WLOG to give all services the
 same yield during the search; we binary-search for the largest feasible
 ``y``, stopping when the bracket is narrower than ``tolerance`` (the paper
 uses 0.0001).
+
+**Warm starts.**  A cold search spends ``2 + log2(ub/tolerance)`` probes
+(≈16 at the paper's tolerance).  When the caller already knows roughly
+where the answer lies — the previous epoch of a dynamic simulation, the
+same instance under slightly different estimates, a sibling algorithm's
+result on the same instance — it can pass that value as *hint*.  The
+search then descends the *same* dyadic probe grid the cold search uses,
+but probe-free, to a small bracket around the hint, verifies the
+bracket's endpoints with real probes (expanding back out along the
+ancestor chain when the hint was wrong, and falling back to a
+probe-memoized cold restart once the expansion budget is spent), and
+bisects only the remaining gap: ~4-6 probes for a good hint; an
+arbitrarily bad one costs at most the wasted warm probes over the cold
+count — bounded by the bracket depth plus the expansion budget, ~8
+probes at the defaults (fuzz-verified).  Because every probed value
+lies on the cold grid,
+a monotone oracle certifies *exactly* the cold yield; the META* oracles
+are monotone in practice, and warm ≡ cold equivalence is asserted by the
+test suite on reference grids.
 """
 
 from __future__ import annotations
@@ -18,9 +37,19 @@ import numpy as np
 from ..core.allocation import Allocation
 from ..core.instance import ProblemInstance
 
-__all__ = ["binary_search_max_yield", "DEFAULT_TOLERANCE"]
+__all__ = ["binary_search_max_yield", "DEFAULT_TOLERANCE",
+           "DEFAULT_HINT_WINDOW"]
 
 DEFAULT_TOLERANCE = 1e-4
+
+#: Width of the initial warm bracket, in multiples of the tolerance.
+#: 8 leaves ~3 bisection probes when the hint lands inside the bracket.
+DEFAULT_HINT_WINDOW = 8.0
+
+#: Ancestor-expansion budget of a warm search.  Each step doubles the
+#: distance covered, so the budget handles hints wrong by ~2^4 bracket
+#: widths; a hint worse than that triggers the memoized cold restart.
+MAX_HINT_EXPANSIONS = 4
 
 # A packer answers: "placement achieving uniform yield y, or None".  It may
 # be a plain function or a stateful callable (e.g. the adaptive
@@ -34,6 +63,9 @@ def binary_search_max_yield(
     packer: Packer,
     tolerance: float = DEFAULT_TOLERANCE,
     improve: bool = True,
+    hint: Optional[float] = None,
+    hint_window: float = DEFAULT_HINT_WINDOW,
+    stats: Optional[dict] = None,
 ) -> Optional[Allocation]:
     """Maximize the uniform yield achievable by *packer*.
 
@@ -52,34 +84,202 @@ def binary_search_max_yield(
     improve:
         Post-process the final placement with the per-node closed-form
         max-min yield (never lowers the certified uniform yield).
+    hint:
+        Optional advisory guess at the answer (see module docstring).  A
+        hint outside ``(0, upper bound)`` is ignored.  Correctness never
+        depends on the hint — a bad one only costs probes.
+    hint_window:
+        Initial warm-bracket width in multiples of *tolerance*.
+    stats:
+        Optional dict; on return it holds ``probes`` (oracle calls),
+        ``certified`` (the search's feasible lower bound, before
+        improvement — the natural hint for a neighboring solve) and
+        ``hint_used``.
 
     Returns the best allocation found, or ``None`` when even yield 0 (the
     rigid requirements alone) cannot be packed.
     """
+    probes = 0
+
+    def probe(y: float) -> Optional[np.ndarray]:
+        nonlocal probes
+        probes += 1
+        return packer(instance, y)
+
+    def finish(placement, lo: float) -> Allocation:
+        if stats is not None:
+            stats["probes"] = probes
+            stats["certified"] = lo
+        alloc = Allocation.uniform(instance, placement, lo)
+        return alloc.improve_yields() if improve else alloc
+
     hi = instance.yield_upper_bound()
+    use_hint = (hint is not None and np.isfinite(hint)
+                and 0.0 < hint < hi)
+    if stats is not None:
+        stats["probes"] = probes
+        stats["certified"] = None
+        stats["hint_used"] = use_hint
 
     # Try the capacity bound outright: in slack instances (or when all
-    # needs are satisfiable) the search collapses to one probe.
-    if hi > 0.0:
-        placement = packer(instance, hi)
+    # needs are satisfiable) the search collapses to one probe.  A warm
+    # search defers this probe — a hint strictly below the bound says the
+    # caller expects the bound to be out of reach, so the probe happens
+    # only if the search actually climbs back up to it.
+    if hi > 0.0 and not use_hint:
+        placement = probe(hi)
         if placement is not None:
-            alloc = Allocation.uniform(instance, placement, hi)
-            return alloc.improve_yields() if improve else alloc
+            return finish(placement, hi)
 
-    placement = packer(instance, 0.0)
-    if placement is None:
+    def give_up() -> None:
+        if stats is not None:
+            stats["probes"] = probes
         return None
-    best_placement = placement
-    lo = 0.0
 
-    while hi - lo > tolerance:
-        mid = 0.5 * (lo + hi)
-        placement = packer(instance, mid)
-        if placement is not None:
-            lo = mid
-            best_placement = placement
-        else:
+    best_placement = None
+    if use_hint:
+        # Descend the cold search's dyadic grid — probe-free — to the
+        # bracket of width ~hint_window*tolerance containing the hint.
+        # The stacks remember the ancestor boundaries for expansion.
+        target = max(hint_window * tolerance, tolerance)
+        los = [0.0]
+        his = [hi]
+        lo, hi_w = 0.0, hi
+        while hi_w - lo > target:
+            mid = 0.5 * (lo + hi_w)
+            if not (lo < mid < hi_w):  # float exhaustion
+                break
+            if hint >= mid:
+                lo = mid
+                los.append(mid)
+            else:
+                hi_w = mid
+                his.append(mid)
+        hi_cap, hi = hi, hi_w
+        # Optimistic bisection with deferred endpoint verification: the
+        # bracket endpoints are *assumed* (lo feasible, hi infeasible)
+        # until a probe answer depends on them.  A verified-wrong floor
+        # descends the ancestor chain *eagerly* (each failed value is a
+        # proven ceiling); a binding-but-unrefuted ceiling climbs it
+        # eagerly while it keeps packing; a single bisection then
+        # finishes the verified bracket.  Expansion is *bounded*: after
+        # MAX_HINT_EXPANSIONS ancestor steps the hint is hopeless and
+        # the search restarts as a plain cold bisection whose probes are
+        # answered from a memo where the warm phase already visited them
+        # — so a bad hint costs at most the wasted pre-restart probes
+        # (a small constant) over the cold count.  Every probed value
+        # lies on the cold search's dyadic grid, so a monotone oracle
+        # certifies exactly the cold yield.
+        seen: dict = {}
+
+        def probe_memo(y: float):
+            if y in seen:
+                return seen[y]
+            result = probe(y)
+            seen[y] = result
+            return result
+
+        hi_unverified = True  # nothing above the bracket is probed yet
+        failed = restart = False
+        expansions = 0
+
+        def verify_floor() -> bool:
+            """Probe ancestors until one packs; False = nothing does."""
+            nonlocal lo, hi, hi_unverified, best_placement
+            nonlocal expansions, restart
+            while True:
+                placement = probe_memo(los[-1])
+                if placement is not None:
+                    best_placement, lo = placement, los[-1]
+                    return True
+                if los[-1] == 0.0:
+                    return False
+                hi = los[-1]
+                hi_unverified = False
+                los.pop()
+                lo = los[-1]
+                expansions += 1
+                if expansions > MAX_HINT_EXPANSIONS:
+                    restart = True
+                    return True
+
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if not (lo < mid < hi):  # float exhaustion
+                break
+            placement = probe_memo(mid)
+            if placement is not None:
+                lo, best_placement = mid, placement
+                continue
             hi = mid
+            hi_unverified = False
+            if best_placement is None:
+                # First refutation with an unverified floor: check the
+                # floor now rather than bisecting toward a value that
+                # may itself be infeasible.
+                if not verify_floor():
+                    failed = True
+                break_out = failed or restart
+                if break_out:
+                    break
+        if not failed and not restart and best_placement is None \
+                and not verify_floor():
+            failed = True
+        if failed:
+            return give_up()
+        if not restart and hi_unverified:
+            # The assumed ceiling was never refuted by a probe — the
+            # answer may lie above it.  Climb while it keeps packing
+            # (reaching a packable capacity bound ends the search, as in
+            # the cold fast path), then bisect the last verified bracket.
+            while True:
+                top = his[-1]
+                placement = probe_memo(top)
+                if placement is None:
+                    hi = top
+                    break
+                if top == hi_cap:
+                    return finish(placement, hi_cap)
+                best_placement, lo = placement, top
+                his.pop()
+                expansions += 1
+                if expansions > MAX_HINT_EXPANSIONS:
+                    restart = True
+                    break
+        if restart:
+            # The hint was wrong by far more than the bracket width:
+            # fall back to the exact cold sequence, reusing any probes
+            # the warm phase already made at the same grid points.
+            placement = probe_memo(hi_cap)
+            if placement is not None:
+                return finish(placement, hi_cap)
+            placement = probe_memo(0.0)
+            if placement is None:
+                return give_up()
+            best_placement, lo, hi = placement, 0.0, hi_cap
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if not (lo < mid < hi):
+                break
+            placement = probe_memo(mid)
+            if placement is not None:
+                lo, best_placement = mid, placement
+            else:
+                hi = mid
+    else:
+        placement = probe(0.0)
+        if placement is None:
+            return give_up()
+        best_placement = placement
+        lo = 0.0
 
-    alloc = Allocation.uniform(instance, best_placement, lo)
-    return alloc.improve_yields() if improve else alloc
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            placement = probe(mid)
+            if placement is not None:
+                lo = mid
+                best_placement = placement
+            else:
+                hi = mid
+
+    return finish(best_placement, lo)

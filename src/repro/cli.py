@@ -46,6 +46,7 @@ from .experiments import (
     run_table1,
     run_table2,
 )
+from . import kernels
 from .experiments.report import ensure_dir
 from .experiments.table1 import DEFAULT_TABLE1_ALGORITHMS
 
@@ -73,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--progress", action="store_true",
                         help="force live progress on stderr (auto when "
                              "stderr is a terminal)")
+    parser.add_argument("--kernel-backend",
+                        choices=kernels.backend_names(), default=None,
+                        help="packing-kernel implementation (default: the "
+                             "REPRO_KERNEL_BACKEND env var, else 'auto' = "
+                             "fastest available of numba/native/numpy)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="pairwise comparisons (Table 1)")
@@ -134,6 +140,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     al = sub.add_parser("all", help="run every experiment at quick scale")
     al.add_argument("--paper", action="store_true")
+
+    co = sub.add_parser("compact",
+                        help="garbage-collect a JSONL checkpoint "
+                             "(drop superseded/foreign records)")
+    co.add_argument("path", help="checkpoint file to compact")
+    co.add_argument("--into", default=None, metavar="PATH",
+                    help="write the compacted file here instead of "
+                         "rewriting in place")
+    co.add_argument("--kinds", nargs="+", default=None,
+                    help="record kinds to keep ('task' for grid results, "
+                         "plus JsonlCheckpoint kinds such as "
+                         "'error-figure', 'strategy-rank'); other kinds "
+                         "are dropped as foreign.  Default: keep all")
 
     return parser
 
@@ -348,6 +367,16 @@ def _cmd_rank_strategies(args) -> None:
     _emit(args, "strategy-ranking", format_ranking(ranking, top_n=args.top))
 
 
+def _cmd_compact(args) -> None:
+    from .experiments.persistence import compact_checkpoint
+    stats = compact_checkpoint(args.path, output=args.into,
+                               kinds=args.kinds)
+    dest = args.into or args.path
+    print(f"{dest}: kept {stats.kept} records "
+          f"({stats.superseded} superseded, {stats.foreign} foreign "
+          f"dropped)")
+
+
 def _cmd_dynamic(args) -> None:
     from .algorithms import metahvp_light
     from .dynamic import DynamicSimulator, generate_trace
@@ -384,6 +413,7 @@ _COMMANDS = {
     "rank-strategies": _cmd_rank_strategies,
     "dynamic": _cmd_dynamic,
     "all": _cmd_all,
+    "compact": _cmd_compact,
 }
 
 
@@ -392,6 +422,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint")
+    if args.kernel_backend is not None:
+        try:
+            # persist_env so experiment worker processes inherit the
+            # choice (task descriptors don't carry it).
+            kernels.use_backend(args.kernel_backend, persist_env=True)
+        except kernels.KernelBackendUnavailable as exc:
+            parser.error(str(exc))
     _COMMANDS[args.command](args)
     return 0
 

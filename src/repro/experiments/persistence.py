@@ -32,11 +32,13 @@ from .runner import AlgorithmResult, TaskResult
 
 __all__ = [
     "FORMAT_VERSION",
+    "CompactStats",
     "JsonlCheckpoint",
     "ResultStore",
     "append_results",
     "as_jsonl_checkpoint",
     "as_result_store",
+    "compact_checkpoint",
     "fingerprinted_cache",
     "load_results",
     "merge_results",
@@ -379,6 +381,81 @@ def as_jsonl_checkpoint(checkpoint: "str | JsonlCheckpoint | None",
     if checkpoint is None or isinstance(checkpoint, JsonlCheckpoint):
         return checkpoint
     return JsonlCheckpoint(checkpoint, kind=kind, resume=resume)
+
+
+class CompactStats:
+    """Outcome of :func:`compact_checkpoint`."""
+
+    def __init__(self, kept: int, superseded: int, foreign: int):
+        self.kept = kept
+        self.superseded = superseded
+        self.foreign = foreign
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CompactStats(kept={self.kept}, "
+                f"superseded={self.superseded}, foreign={self.foreign})")
+
+
+def _record_identity(rec: dict, ordinal: int) -> tuple:
+    """The key under which a resume loader would index *rec*.
+
+    A kind-tagged record without a ``key`` field belongs to some other
+    tool; it gets a per-occurrence identity (*ordinal*) so it is
+    preserved verbatim and never deduplicated.
+    """
+    if "kind" in rec:
+        if "key" not in rec:
+            return ("opaque", ordinal)
+        return ("ckpt", rec.get("kind"), JsonlCheckpoint._canon(rec["key"]))
+    task = task_from_dict(rec)  # validates the format version
+    algos = tuple(r.algorithm for r in task.results)
+    return ("task", task_key(task.config, algos))
+
+
+def compact_checkpoint(path: str, output: Optional[str] = None,
+                       kinds: Optional[Sequence[str]] = None) -> CompactStats:
+    """Garbage-collect a JSONL checkpoint.
+
+    Resumed-over-resumed (or crash-repaired) files accumulate superseded
+    records: several lines with the same identity, of which a resume
+    loader only ever uses the *last*.  This rewrite keeps exactly that
+    surviving record per identity (task records keyed by scenario cell +
+    algorithm set, checkpoint records by kind + key), in first-appearance
+    order, dropping a partial final line as the loaders do.  With *kinds*
+    given, records of any other kind — "foreign" entries sharing the file
+    — are dropped as well (task records compact under the pseudo-kind
+    ``"task"``).
+
+    The rewrite is atomic (temp file + rename).  *output* redirects it;
+    default is in place.  Returns :class:`CompactStats`.
+    """
+    survivors: dict[tuple, dict] = {}
+    foreign = 0
+    total = 0
+    keep_kinds = None if kinds is None else set(kinds)
+    for rec in _iter_records(path, tolerate_partial=True):
+        total += 1
+        kind = rec.get("kind", "task")
+        if keep_kinds is not None and kind not in keep_kinds:
+            foreign += 1
+            continue
+        # Later duplicates replace the payload in place: the loader would
+        # use the newest record, while dict insertion order preserves the
+        # identity's first appearance in the file.
+        survivors[_record_identity(rec, total)] = rec
+    superseded = total - foreign - len(survivors)
+    out_path = output or path
+    parent = os.path.dirname(out_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = out_path + ".compact-tmp"
+    with open(tmp, "w") as fh:
+        for rec in survivors.values():
+            fh.write(json.dumps(rec) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, out_path)
+    return CompactStats(len(survivors), superseded, foreign)
 
 
 def fingerprinted_cache(ckpt: Optional[JsonlCheckpoint], fingerprint: str,

@@ -105,22 +105,53 @@ class TaskResult:
 class _Task:
     config: ScenarioConfig
     algorithms: tuple[str, ...]
+    #: Seed each warm-capable solve with the best yield an earlier
+    #: algorithm certified on the same instance.  Off for timing tables,
+    #: which must measure standalone solves.
+    warm_chain: bool = True
 
 
 def _run_task(task: _Task) -> TaskResult:
     instance = generate_instance(task.config)
     out = []
+    hint: float | None = None
     for name in task.algorithms:
         algo = ALGORITHM_FACTORIES[name]()
-        # Stochastic algorithms get a stream derived from the instance
-        # coordinates plus the algorithm name, so adding/removing
-        # algorithms never perturbs the others' draws.
-        rng = np.random.default_rng(
-            derive_seed(task.config.seed,
-                        task.config.instance_index,
-                        _algo_stream_id(name)))
-        alloc, seconds = timed_call(algo, instance, rng=rng)
+        fn = getattr(algo, "fn", algo)
+        if task.warm_chain and getattr(fn, "supports_hint", False):
+            # All algorithms in a task solve the *same* instance, so the
+            # best yield an earlier one certified is a strong seed for
+            # this one's binary search.  The chain stays inside the
+            # task, so results are independent of worker scheduling and
+            # checkpoint resume.  Warm and cold searches certify equal
+            # yields; the winning *strategy* at the final probe can
+            # differ, so placement-derived values may shift within the
+            # usual engine-equivalence envelope (same caveat as the v2
+            # engine's adaptive ordering).
+            stats: dict = {}
+            alloc, seconds = timed_call(
+                fn.solve_with_hint, instance, hint=hint, stats=stats)
+            certified = stats.get("certified")
+            if certified is not None and (hint is None
+                                          or certified > hint):
+                hint = certified
+        else:
+            # Stochastic algorithms get a stream derived from the
+            # instance coordinates plus the algorithm name, so
+            # adding/removing algorithms never perturbs the others'
+            # draws.
+            rng = np.random.default_rng(
+                derive_seed(task.config.seed,
+                            task.config.instance_index,
+                            _algo_stream_id(name)))
+            alloc, seconds = timed_call(algo, instance, rng=rng)
         min_yield = None if alloc is None else alloc.minimum_yield()
+        if (not getattr(fn, "supports_hint", False)
+                and min_yield is not None
+                and (hint is None or min_yield > hint)):
+            # Non-searching algorithms only offer their (post-improve)
+            # allocation yield; still a usable advisory seed.
+            hint = min_yield
         out.append(AlgorithmResult(name, min_yield, seconds))
     return TaskResult(task.config, tuple(out))
 
@@ -138,6 +169,7 @@ def iter_grid(configs: Iterable[ScenarioConfig],
               checkpoint: Union[str, "ResultStore", None] = None,
               resume: bool = False,
               progress: Optional[ProgressCallback] = None,
+              warm_chain: bool = True,
               ) -> Iterator[TaskResult]:
     """Stream :class:`TaskResult`s for *configs* in input order.
 
@@ -167,7 +199,7 @@ def iter_grid(configs: Iterable[ScenarioConfig],
     on_computed = None if store is None else (
         lambda key, result: store.append(result))
 
-    tasks = (_Task(cfg, algorithms) for cfg in configs)
+    tasks = (_Task(cfg, algorithms, warm_chain) for cfg in configs)
     stream = parallel_imap_cached(
         _run_task, tasks, cache,
         key=lambda task: task_key(task.config, task.algorithms),
@@ -188,7 +220,8 @@ def run_grid(configs: Iterable[ScenarioConfig],
              window: int | None = None,
              checkpoint: Union[str, "ResultStore", None] = None,
              resume: bool = False,
-             progress: Optional[ProgressCallback] = None) -> list[TaskResult]:
+             progress: Optional[ProgressCallback] = None,
+             warm_chain: bool = True) -> list[TaskResult]:
     """Run *algorithms* on every config; order of results matches input.
 
     Materializing wrapper around :func:`iter_grid`; the keyword-only
@@ -196,4 +229,4 @@ def run_grid(configs: Iterable[ScenarioConfig],
     """
     return list(iter_grid(configs, algorithms, workers, window=window,
                           checkpoint=checkpoint, resume=resume,
-                          progress=progress))
+                          progress=progress, warm_chain=warm_chain))

@@ -49,9 +49,11 @@ def run_table2(grid: GridSpec,
         for J in grid.services:
             count = 0
             per_algo: dict[str, list[float]] = {a: [] for a in algorithms}
+            # warm_chain off: Table 2 reports *standalone* run times, so
+            # a solve must not be accelerated by a sibling's answer.
             for task in iter_grid(grid.configs(services=J), algorithms,
                                   workers, window=window, checkpoint=store,
-                                  progress=progress):
+                                  progress=progress, warm_chain=False):
                 count += 1
                 for r in task.results:
                     per_algo[r.algorithm].append(r.seconds)

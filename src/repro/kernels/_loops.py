@@ -1,0 +1,268 @@
+"""Scalar loop kernels — the jittable source of truth.
+
+These are the hot inner loops of the 2-D vector packers and the probe
+factory, written in the restricted numpy-scalar style that ``numba.njit``
+compiles directly (no Python containers, no closures, no fancy indexing).
+Three consumers share them:
+
+* :mod:`.numba_backend` wraps each function with ``@njit(cache=True)``;
+* :mod:`.native_backend` is a line-for-line C translation (same IEEE
+  float64 operation order, so results are bit-identical);
+* the tests run them *uncompiled* as the ``loops`` reference backend, so
+  the logic is exercised even on machines without numba or a C compiler.
+
+Every kernel mutates its output arrays in place and performs float
+arithmetic in exactly the same order as the numpy backend
+(:mod:`.numpy_backend`), which is what makes cross-backend placements and
+loads bit-identical rather than merely close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ff_fill_2d",
+    "bf_pack",
+    "pp_fill_2d",
+    "affine_fit_thresholds",
+    "incremental_best_fit",
+]
+
+
+def ff_fill_2d(item_agg, elem_ok, item_order, bin_order,
+               loads, load_sum, cap_tol, assignment):
+    """First-Fit 2-D greedy per-bin fill.  Returns the unplaced count.
+
+    Mirrors the numpy backend's scalar fast path: bins are filled one at a
+    time, each taking every pending item (in item order) that fits the
+    running load; the bin's load is accumulated in scalars and committed
+    once.
+    """
+    J = item_order.shape[0]
+    pending = np.empty(J, np.int64)
+    for i in range(J):
+        pending[i] = item_order[i]
+    npend = J
+    for bi in range(bin_order.shape[0]):
+        if npend == 0:
+            break
+        h = bin_order[bi]
+        l0 = loads[h, 0]
+        l1 = loads[h, 1]
+        c0 = cap_tol[h, 0]
+        c1 = cap_tol[h, 1]
+        ntaken = 0
+        nrest = 0
+        for i in range(npend):
+            j = pending[i]
+            if (elem_ok[j, h]
+                    and l0 + item_agg[j, 0] <= c0
+                    and l1 + item_agg[j, 1] <= c1):
+                l0 += item_agg[j, 0]
+                l1 += item_agg[j, 1]
+                assignment[j] = h
+                ntaken += 1
+            else:
+                pending[nrest] = j
+                nrest += 1
+        if ntaken > 0:
+            loads[h, 0] = l0
+            loads[h, 1] = l1
+            load_sum[h] = l0 + l1
+        npend = nrest
+    return npend
+
+
+def bf_pack(item_agg, item_agg_sum, elem_ok, item_order,
+            loads, load_sum, cap_tol, bin_agg_sum, by_remaining,
+            assignment):
+    """Best-Fit with O(1)-update scores (any D).  Returns 1 on success.
+
+    Scan order and strict-< tie-breaking reproduce the numpy backend's
+    masked ``argmin`` (first occurrence of the minimal score wins).
+    """
+    J = item_order.shape[0]
+    H = loads.shape[0]
+    D = item_agg.shape[1]
+    for ii in range(J):
+        j = item_order[ii]
+        best_h = -1
+        best_score = np.inf
+        for h in range(H):
+            if not elem_ok[j, h]:
+                continue
+            ok = True
+            for d in range(D):
+                if loads[h, d] + item_agg[j, d] > cap_tol[h, d]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            if by_remaining:
+                score = bin_agg_sum[h] - load_sum[h]
+            else:
+                score = -load_sum[h]
+            if score < best_score:
+                best_score = score
+                best_h = h
+        if best_h < 0:
+            return 0
+        for d in range(D):
+            loads[best_h, d] += item_agg[j, d]
+        load_sum[best_h] += item_agg_sum[j]
+        assignment[j] = best_h
+    return 1
+
+
+def pp_fill_2d(item_agg, elem_ok, order0, order1, bin_order,
+               loads, load_sum, cap_tol, bin_agg, by_remaining,
+               assignment):
+    """Permutation/Choose-Pack 2-D pointer walk.  Returns the unplaced count.
+
+    ``order0``/``order1`` are the items sorted by their packed selection
+    code under dimension ranking (0, 1) resp. (1, 0), over *all* items;
+    already-placed items are skipped during the walk, which visits every
+    candidate O(1) times per ranking per bin (an unfit candidate is dead
+    for the bin forever — remaining capacity never grows).
+    """
+    J = item_agg.shape[0]
+    unplaced = 0
+    for j in range(J):
+        if assignment[j] < 0:
+            unplaced += 1
+    dead = np.zeros(J, np.uint8)
+    for bi in range(bin_order.shape[0]):
+        if unplaced == 0:
+            break
+        h = bin_order[bi]
+        l0 = loads[h, 0]
+        l1 = loads[h, 1]
+        c0 = cap_tol[h, 0]
+        c1 = cap_tol[h, 1]
+        if by_remaining:
+            b0 = bin_agg[h, 0]
+            b1 = bin_agg[h, 1]
+        else:
+            b0 = 0.0
+            b1 = 0.0
+        k0 = l0 - b0
+        k1 = l1 - b1
+        p0 = 0
+        p1 = 0
+        ntaken = 0
+        for j in range(J):
+            dead[j] = 0
+        while True:
+            sel = -1
+            if k0 <= k1:
+                p = p0
+                while p < J:
+                    j = order0[p]
+                    if assignment[j] >= 0 or dead[j] == 1:
+                        p += 1
+                        continue
+                    if (elem_ok[j, h]
+                            and l0 + item_agg[j, 0] <= c0
+                            and l1 + item_agg[j, 1] <= c1):
+                        sel = j
+                        break
+                    dead[j] = 1
+                    p += 1
+                p0 = p
+            else:
+                p = p1
+                while p < J:
+                    j = order1[p]
+                    if assignment[j] >= 0 or dead[j] == 1:
+                        p += 1
+                        continue
+                    if (elem_ok[j, h]
+                            and l0 + item_agg[j, 0] <= c0
+                            and l1 + item_agg[j, 1] <= c1):
+                        sel = j
+                        break
+                    dead[j] = 1
+                    p += 1
+                p1 = p
+            if sel < 0:
+                break
+            assignment[sel] = h
+            l0 += item_agg[sel, 0]
+            l1 += item_agg[sel, 1]
+            k0 = l0 - b0
+            k1 = l1 - b1
+            ntaken += 1
+            unplaced -= 1
+            if unplaced == 0:
+                break
+        if ntaken > 0:
+            loads[h, 0] = l0
+            loads[h, 1] = l1
+            load_sum[h] = l0 + l1
+    return unplaced
+
+
+def affine_fit_thresholds(req, need, cap, out):
+    """``out[j, h]`` = largest yield at which item *j* fits bin *h*.
+
+    Same contract as the numpy broadcast version, but with no ``(J, H, D)``
+    temporaries.
+    """
+    J = req.shape[0]
+    H = cap.shape[0]
+    D = req.shape[1]
+    for j in range(J):
+        for h in range(H):
+            m = np.inf
+            for d in range(D):
+                slack = cap[h, d] - req[j, d]
+                nd = need[j, d]
+                if nd > 0:
+                    t = slack / nd
+                elif slack >= 0:
+                    t = np.inf
+                else:
+                    t = -np.inf
+                if t < m:
+                    m = t
+            out[j, h] = m
+    return 0
+
+
+def incremental_best_fit(req_agg, elem_fit, loads, agg, cap_tol, out):
+    """Dynamic-simulator newcomer placement (any D).  Returns placed count.
+
+    Each row of ``req_agg`` is best-fit (least total remaining capacity,
+    ties to the lowest bin index) against the mutable ``loads``; rows that
+    fit nowhere get ``out[i] = -1`` and leave ``loads`` untouched.
+    """
+    K = req_agg.shape[0]
+    H = loads.shape[0]
+    D = req_agg.shape[1]
+    placed = 0
+    for i in range(K):
+        best_h = -1
+        best_rem = np.inf
+        for h in range(H):
+            if not elem_fit[i, h]:
+                continue
+            ok = True
+            for d in range(D):
+                if loads[h, d] + req_agg[i, d] > cap_tol[h, d]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            rem = 0.0
+            for d in range(D):
+                rem += agg[h, d] - loads[h, d]
+            if rem < best_rem:
+                best_rem = rem
+                best_h = h
+        out[i] = best_h
+        if best_h >= 0:
+            placed += 1
+            for d in range(D):
+                loads[best_h, d] += req_agg[i, d]
+    return placed

@@ -1,0 +1,140 @@
+"""Kernel-backend interface and the array-kernel adapter.
+
+A :class:`KernelBackend` implements the hot scalar kernels the packers
+and the dynamic simulator dispatch to (see :mod:`repro.kernels`):
+
+* ``first_fit_2d(state, item_order, bin_order)`` — FF's per-bin fill;
+* ``best_fit(state, item_order, by_remaining_capacity)`` — BF's
+  O(1)-update scoring loop (any D);
+* ``permutation_pack_2d(state, codes_for, bin_order, by_remaining)`` —
+  PP/CP's packed-code pointer walk;
+* ``affine_fit_thresholds(req, need, cap)`` — the probe factory's
+  yield-threshold table;
+* ``incremental_best_fit(req_agg, elem_fit, loads, agg, cap_tol)`` —
+  the dynamic simulator's newcomer placement.
+
+All implementations are *bit-compatible*: identical placements, loads and
+threshold tables for identical inputs (asserted by the cross-backend
+equivalence tests), so switching backends never changes results — only
+wall-clock.
+
+:class:`ArrayKernelBackend` adapts the flat-array loop kernels of
+:mod:`._loops` (or any compiled equivalent with the same signatures) to
+this state-level interface; the numba and native backends are instances
+of it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["KernelBackend", "ArrayKernelBackend"]
+
+
+class KernelBackend:
+    """Base class: names the backend and documents the dispatch surface."""
+
+    #: Registry name (``numpy``, ``numba``, ``native``, ``loops``).
+    name: str = "?"
+
+    def first_fit_2d(self, state, item_order, bin_order) -> bool:
+        raise NotImplementedError
+
+    def best_fit(self, state, item_order,
+                 by_remaining_capacity: bool) -> bool:
+        raise NotImplementedError
+
+    def permutation_pack_2d(self, state, codes_for, bin_order,
+                            by_remaining: bool) -> bool:
+        raise NotImplementedError
+
+    def affine_fit_thresholds(self, req: np.ndarray, need: np.ndarray,
+                              cap: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def incremental_best_fit(self, req_agg: np.ndarray,
+                             elem_fit: np.ndarray,
+                             loads: np.ndarray,
+                             agg: np.ndarray,
+                             cap_tol: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelBackend {self.name}>"
+
+
+def _i64(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+class ArrayKernelBackend(KernelBackend):
+    """State-level adapter over flat-array loop kernels.
+
+    *kernels* is any namespace exposing the five functions of
+    :mod:`._loops` with identical signatures — the uncompiled module
+    itself, its ``numba.njit`` wrapping, or the ctypes shims of the
+    native backend.
+    """
+
+    def __init__(self, name: str, kernels,
+                 warmup: Optional[Callable[[], None]] = None):
+        self.name = name
+        self._k = kernels
+        if warmup is not None:
+            warmup()
+
+    # -- packers -------------------------------------------------------
+    def first_fit_2d(self, state, item_order, bin_order) -> bool:
+        unplaced = self._k.ff_fill_2d(
+            state.item_agg, state.elem_ok, _i64(item_order),
+            _i64(bin_order), state.loads, state.load_sum,
+            state.bin_cap_tol, state.assignment)
+        state.unplaced_count = int(unplaced)
+        return unplaced == 0
+
+    def best_fit(self, state, item_order,
+                 by_remaining_capacity: bool) -> bool:
+        ok = self._k.bf_pack(
+            state.item_agg, state.item_agg_sum, state.elem_ok,
+            _i64(item_order), state.loads, state.load_sum,
+            state.bin_cap_tol, state.bin_agg_sum,
+            bool(by_remaining_capacity), state.assignment)
+        state.unplaced_count = int(np.count_nonzero(state.assignment < 0))
+        return bool(ok)
+
+    def permutation_pack_2d(self, state, codes_for, bin_order,
+                            by_remaining: bool) -> bool:
+        # The packed codes are a total order (they embed the item-sort
+        # tie-break rank), so a single global argsort per ranking replaces
+        # the numpy backend's per-bin sorts: walking it while skipping
+        # already-placed items visits candidates in the same sequence.
+        order0 = np.argsort(codes_for((0, 1)))
+        order1 = np.argsort(codes_for((1, 0)))
+        unplaced = self._k.pp_fill_2d(
+            state.item_agg, state.elem_ok, _i64(order0), _i64(order1),
+            _i64(bin_order), state.loads, state.load_sum,
+            state.bin_cap_tol, state.bin_agg, bool(by_remaining),
+            state.assignment)
+        state.unplaced_count = int(unplaced)
+        return unplaced == 0
+
+    # -- probe factory -------------------------------------------------
+    def affine_fit_thresholds(self, req, need, cap) -> np.ndarray:
+        req = np.ascontiguousarray(req, dtype=np.float64)
+        need = np.ascontiguousarray(need, dtype=np.float64)
+        cap = np.ascontiguousarray(cap, dtype=np.float64)
+        out = np.empty((req.shape[0], cap.shape[0]), dtype=np.float64)
+        self._k.affine_fit_thresholds(req, need, cap, out)
+        return out
+
+    # -- dynamic simulator ---------------------------------------------
+    def incremental_best_fit(self, req_agg, elem_fit, loads, agg,
+                             cap_tol) -> np.ndarray:
+        out = np.empty(req_agg.shape[0], dtype=np.int64)
+        self._k.incremental_best_fit(
+            np.ascontiguousarray(req_agg, dtype=np.float64),
+            np.ascontiguousarray(elem_fit),
+            loads, agg, cap_tol, out)
+        return out

@@ -1,0 +1,368 @@
+"""Native (C via ctypes) kernel backend.
+
+A line-for-line translation of :mod:`._loops` compiled on demand with the
+system C compiler (``$CC`` or ``cc``).  Compilation happens once per
+source revision: the shared object is cached under
+``$REPRO_NATIVE_CACHE`` (default ``~/.cache/repro-kernels``) keyed by a
+hash of the source, so steady-state startup is a single ``dlopen``.
+
+No ``-ffast-math``: the kernels run strict IEEE float64 in the same
+operation order as the other backends, keeping placements and loads
+bit-identical (asserted by the cross-backend equivalence tests).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["load_native_kernels", "NativeBuildError"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <math.h>
+
+int64_t ff_fill_2d(int64_t J, int64_t H, int64_t NB,
+                   const double *item_agg, const uint8_t *elem_ok,
+                   const int64_t *item_order, const int64_t *bin_order,
+                   double *loads, double *load_sum,
+                   const double *cap_tol, int64_t *assignment)
+{
+    int64_t *pending = malloc((size_t)J * sizeof(int64_t));
+    int64_t npend = J;
+    if (!pending) return -1;
+    for (int64_t i = 0; i < J; i++) pending[i] = item_order[i];
+    for (int64_t bi = 0; bi < NB; bi++) {
+        if (npend == 0) break;
+        int64_t h = bin_order[bi];
+        double l0 = loads[h*2+0], l1 = loads[h*2+1];
+        double c0 = cap_tol[h*2+0], c1 = cap_tol[h*2+1];
+        int64_t ntaken = 0, nrest = 0;
+        for (int64_t i = 0; i < npend; i++) {
+            int64_t j = pending[i];
+            if (elem_ok[j*H+h]
+                    && l0 + item_agg[j*2+0] <= c0
+                    && l1 + item_agg[j*2+1] <= c1) {
+                l0 += item_agg[j*2+0];
+                l1 += item_agg[j*2+1];
+                assignment[j] = h;
+                ntaken++;
+            } else {
+                pending[nrest++] = j;
+            }
+        }
+        if (ntaken > 0) {
+            loads[h*2+0] = l0;
+            loads[h*2+1] = l1;
+            load_sum[h] = l0 + l1;
+        }
+        npend = nrest;
+    }
+    free(pending);
+    return npend;
+}
+
+int64_t bf_pack(int64_t J, int64_t H, int64_t D,
+                const double *item_agg, const double *item_agg_sum,
+                const uint8_t *elem_ok, const int64_t *item_order,
+                double *loads, double *load_sum,
+                const double *cap_tol, const double *bin_agg_sum,
+                int64_t by_remaining, int64_t *assignment)
+{
+    for (int64_t ii = 0; ii < J; ii++) {
+        int64_t j = item_order[ii];
+        int64_t best_h = -1;
+        double best_score = INFINITY;
+        for (int64_t h = 0; h < H; h++) {
+            if (!elem_ok[j*H+h]) continue;
+            int ok = 1;
+            for (int64_t d = 0; d < D; d++) {
+                if (loads[h*D+d] + item_agg[j*D+d] > cap_tol[h*D+d]) {
+                    ok = 0;
+                    break;
+                }
+            }
+            if (!ok) continue;
+            double score = by_remaining ? bin_agg_sum[h] - load_sum[h]
+                                        : -load_sum[h];
+            if (score < best_score) {
+                best_score = score;
+                best_h = h;
+            }
+        }
+        if (best_h < 0) return 0;
+        for (int64_t d = 0; d < D; d++)
+            loads[best_h*D+d] += item_agg[j*D+d];
+        load_sum[best_h] += item_agg_sum[j];
+        assignment[j] = best_h;
+    }
+    return 1;
+}
+
+int64_t pp_fill_2d(int64_t J, int64_t H, int64_t NB,
+                   const double *item_agg, const uint8_t *elem_ok,
+                   const int64_t *order0, const int64_t *order1,
+                   const int64_t *bin_order,
+                   double *loads, double *load_sum,
+                   const double *cap_tol, const double *bin_agg,
+                   int64_t by_remaining, int64_t *assignment)
+{
+    int64_t unplaced = 0;
+    uint8_t *dead = malloc((size_t)J);
+    if (!dead) return -1;
+    for (int64_t j = 0; j < J; j++)
+        if (assignment[j] < 0) unplaced++;
+    for (int64_t bi = 0; bi < NB; bi++) {
+        if (unplaced == 0) break;
+        int64_t h = bin_order[bi];
+        double l0 = loads[h*2+0], l1 = loads[h*2+1];
+        double c0 = cap_tol[h*2+0], c1 = cap_tol[h*2+1];
+        double b0 = 0.0, b1 = 0.0;
+        if (by_remaining) { b0 = bin_agg[h*2+0]; b1 = bin_agg[h*2+1]; }
+        double k0 = l0 - b0, k1 = l1 - b1;
+        int64_t p0 = 0, p1 = 0, ntaken = 0;
+        for (int64_t j = 0; j < J; j++) dead[j] = 0;
+        for (;;) {
+            int64_t sel = -1;
+            if (k0 <= k1) {
+                int64_t p = p0;
+                while (p < J) {
+                    int64_t j = order0[p];
+                    if (assignment[j] >= 0 || dead[j]) { p++; continue; }
+                    if (elem_ok[j*H+h]
+                            && l0 + item_agg[j*2+0] <= c0
+                            && l1 + item_agg[j*2+1] <= c1) {
+                        sel = j;
+                        break;
+                    }
+                    dead[j] = 1;
+                    p++;
+                }
+                p0 = p;
+            } else {
+                int64_t p = p1;
+                while (p < J) {
+                    int64_t j = order1[p];
+                    if (assignment[j] >= 0 || dead[j]) { p++; continue; }
+                    if (elem_ok[j*H+h]
+                            && l0 + item_agg[j*2+0] <= c0
+                            && l1 + item_agg[j*2+1] <= c1) {
+                        sel = j;
+                        break;
+                    }
+                    dead[j] = 1;
+                    p++;
+                }
+                p1 = p;
+            }
+            if (sel < 0) break;
+            assignment[sel] = h;
+            l0 += item_agg[sel*2+0];
+            l1 += item_agg[sel*2+1];
+            k0 = l0 - b0;
+            k1 = l1 - b1;
+            ntaken++;
+            unplaced--;
+            if (unplaced == 0) break;
+        }
+        if (ntaken > 0) {
+            loads[h*2+0] = l0;
+            loads[h*2+1] = l1;
+            load_sum[h] = l0 + l1;
+        }
+    }
+    free(dead);
+    return unplaced;
+}
+
+int64_t affine_fit_thresholds(int64_t J, int64_t H, int64_t D,
+                              const double *req, const double *need,
+                              const double *cap, double *out)
+{
+    for (int64_t j = 0; j < J; j++) {
+        for (int64_t h = 0; h < H; h++) {
+            double m = INFINITY;
+            for (int64_t d = 0; d < D; d++) {
+                double slack = cap[h*D+d] - req[j*D+d];
+                double nd = need[j*D+d];
+                double t;
+                if (nd > 0) t = slack / nd;
+                else if (slack >= 0) t = INFINITY;
+                else t = -INFINITY;
+                if (t < m) m = t;
+            }
+            out[j*H+h] = m;
+        }
+    }
+    return 0;
+}
+
+int64_t incremental_best_fit(int64_t K, int64_t H, int64_t D,
+                             const double *req_agg, const uint8_t *elem_fit,
+                             double *loads, const double *agg,
+                             const double *cap_tol, int64_t *out)
+{
+    int64_t placed = 0;
+    for (int64_t i = 0; i < K; i++) {
+        int64_t best_h = -1;
+        double best_rem = INFINITY;
+        for (int64_t h = 0; h < H; h++) {
+            if (!elem_fit[i*H+h]) continue;
+            int ok = 1;
+            for (int64_t d = 0; d < D; d++) {
+                if (loads[h*D+d] + req_agg[i*D+d] > cap_tol[h*D+d]) {
+                    ok = 0;
+                    break;
+                }
+            }
+            if (!ok) continue;
+            double rem = 0.0;
+            for (int64_t d = 0; d < D; d++)
+                rem += agg[h*D+d] - loads[h*D+d];
+            if (rem < best_rem) {
+                best_rem = rem;
+                best_h = h;
+            }
+        }
+        out[i] = best_h;
+        if (best_h >= 0) {
+            placed++;
+            for (int64_t d = 0; d < D; d++)
+                loads[best_h*D+d] += req_agg[i*D+d];
+        }
+    }
+    return placed;
+}
+"""
+
+
+class NativeBuildError(RuntimeError):
+    """The native kernels could not be compiled or loaded."""
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-kernels")
+
+
+def _build_library() -> str:
+    """Compile (or reuse) the shared object; returns its path."""
+    digest = hashlib.sha1(_C_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, f"repro_kernels_{digest}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    cc = os.environ.get("CC", "cc")
+    try:
+        os.makedirs(cache, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=cache) as tmp:
+            src = os.path.join(tmp, "kernels.c")
+            obj = os.path.join(tmp, "kernels.so")
+            with open(src, "w") as fh:
+                fh.write(_C_SOURCE)
+            proc = subprocess.run(
+                [cc, "-O2", "-fPIC", "-shared", "-o", obj, src],
+                capture_output=True, text=True, timeout=120)
+            if proc.returncode != 0:
+                raise NativeBuildError(
+                    f"{cc} failed ({proc.returncode}): "
+                    f"{proc.stderr.strip()[:500]}")
+            # Atomic publish: concurrent builders race benignly.
+            os.replace(obj, lib_path)
+    except NativeBuildError:
+        raise
+    except Exception as exc:
+        raise NativeBuildError(f"cannot build native kernels: {exc}") from exc
+    return lib_path
+
+
+_f64p = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+_i64p = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_u8p = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+_i64 = ctypes.c_int64
+
+
+def _u8(mask: np.ndarray) -> np.ndarray:
+    """Bool mask as a uint8 view (no copy for contiguous bool arrays)."""
+    if mask.dtype == np.bool_:
+        return mask.view(np.uint8)
+    return np.ascontiguousarray(mask, dtype=np.uint8)
+
+
+class _NativeKernels:
+    """ctypes shims with the :mod:`._loops` signatures."""
+
+    def __init__(self, lib: ctypes.CDLL):
+        self._lib = lib
+        lib.ff_fill_2d.restype = _i64
+        lib.ff_fill_2d.argtypes = [_i64, _i64, _i64, _f64p, _u8p, _i64p,
+                                   _i64p, _f64p, _f64p, _f64p, _i64p]
+        lib.bf_pack.restype = _i64
+        lib.bf_pack.argtypes = [_i64, _i64, _i64, _f64p, _f64p, _u8p,
+                                _i64p, _f64p, _f64p, _f64p, _f64p, _i64,
+                                _i64p]
+        lib.pp_fill_2d.restype = _i64
+        lib.pp_fill_2d.argtypes = [_i64, _i64, _i64, _f64p, _u8p, _i64p,
+                                   _i64p, _i64p, _f64p, _f64p, _f64p,
+                                   _f64p, _i64, _i64p]
+        lib.affine_fit_thresholds.restype = _i64
+        lib.affine_fit_thresholds.argtypes = [_i64, _i64, _i64, _f64p,
+                                              _f64p, _f64p, _f64p]
+        lib.incremental_best_fit.restype = _i64
+        lib.incremental_best_fit.argtypes = [_i64, _i64, _i64, _f64p,
+                                             _u8p, _f64p, _f64p, _f64p,
+                                             _i64p]
+
+    def ff_fill_2d(self, item_agg, elem_ok, item_order, bin_order,
+                   loads, load_sum, cap_tol, assignment):
+        return self._lib.ff_fill_2d(
+            item_order.shape[0], loads.shape[0], bin_order.shape[0],
+            item_agg, _u8(elem_ok), item_order, bin_order, loads,
+            load_sum, cap_tol, assignment)
+
+    def bf_pack(self, item_agg, item_agg_sum, elem_ok, item_order,
+                loads, load_sum, cap_tol, bin_agg_sum, by_remaining,
+                assignment):
+        return self._lib.bf_pack(
+            item_order.shape[0], loads.shape[0], item_agg.shape[1],
+            item_agg, item_agg_sum, _u8(elem_ok), item_order, loads,
+            load_sum, cap_tol, bin_agg_sum, int(by_remaining), assignment)
+
+    def pp_fill_2d(self, item_agg, elem_ok, order0, order1, bin_order,
+                   loads, load_sum, cap_tol, bin_agg, by_remaining,
+                   assignment):
+        return self._lib.pp_fill_2d(
+            item_agg.shape[0], loads.shape[0], bin_order.shape[0],
+            item_agg, _u8(elem_ok), order0, order1, bin_order, loads,
+            load_sum, cap_tol, bin_agg, int(by_remaining), assignment)
+
+    def affine_fit_thresholds(self, req, need, cap, out):
+        return self._lib.affine_fit_thresholds(
+            req.shape[0], cap.shape[0], req.shape[1], req, need, cap, out)
+
+    def incremental_best_fit(self, req_agg, elem_fit, loads, agg,
+                             cap_tol, out):
+        return self._lib.incremental_best_fit(
+            req_agg.shape[0], loads.shape[0], req_agg.shape[1], req_agg,
+            _u8(elem_fit), loads, agg, cap_tol, out)
+
+
+def load_native_kernels() -> _NativeKernels:
+    """Build/load the shared object; raises :class:`NativeBuildError`."""
+    try:
+        lib = ctypes.CDLL(_build_library())
+    except NativeBuildError:
+        raise
+    except OSError as exc:
+        raise NativeBuildError(f"cannot load native kernels: {exc}") from exc
+    return _NativeKernels(lib)

@@ -1,0 +1,66 @@
+"""Numba kernel backend: ``@njit(cache=True)`` over :mod:`._loops`.
+
+Importing this module raises ``ImportError`` when numba is not installed
+— the registry treats that as "backend unavailable" and falls back (numba
+is an optional extra: ``pip install repro-vm-allocation[numba]``).
+
+``cache=True`` persists the compiled machine code next to the package,
+so the one-off JIT cost (~seconds) is paid once per environment, not per
+process.  The kernels are the exact functions the ``loops`` reference
+backend runs uncompiled, so numba correctness reduces to numba compiling
+standard scalar numpy code — and is re-asserted bit-for-bit by the
+cross-backend equivalence tests whenever numba is present.
+"""
+
+from __future__ import annotations
+
+from numba import njit
+
+from . import _loops
+
+__all__ = [
+    "ff_fill_2d",
+    "bf_pack",
+    "pp_fill_2d",
+    "affine_fit_thresholds",
+    "incremental_best_fit",
+    "warmup",
+]
+
+_jit = njit(cache=True)
+
+ff_fill_2d = _jit(_loops.ff_fill_2d)
+bf_pack = _jit(_loops.bf_pack)
+pp_fill_2d = _jit(_loops.pp_fill_2d)
+affine_fit_thresholds = _jit(_loops.affine_fit_thresholds)
+incremental_best_fit = _jit(_loops.incremental_best_fit)
+
+
+def warmup() -> None:
+    """Force compilation on tiny inputs so the first real solve is hot."""
+    import numpy as np
+
+    item_agg = np.ones((2, 2))
+    elem_ok = np.ones((2, 1), dtype=np.bool_)
+    order = np.arange(2, dtype=np.int64)
+    bins = np.zeros(1, dtype=np.int64)
+    loads = np.zeros((1, 2))
+    load_sum = np.zeros(1)
+    cap = np.full((1, 2), 8.0)
+    assignment = np.full(2, -1, dtype=np.int64)
+    ff_fill_2d(item_agg, elem_ok, order, bins, loads, load_sum, cap,
+               assignment)
+    assignment[:] = -1
+    loads[:] = 0.0
+    load_sum[:] = 0.0
+    bf_pack(item_agg, item_agg.sum(axis=1), elem_ok, order, loads,
+            load_sum, cap, cap.sum(axis=1), True, assignment)
+    assignment[:] = -1
+    loads[:] = 0.0
+    load_sum[:] = 0.0
+    pp_fill_2d(item_agg, elem_ok, order, order, bins, loads, load_sum,
+               cap, cap, True, assignment)
+    out = np.empty((2, 1))
+    affine_fit_thresholds(item_agg, item_agg, cap, out)
+    incremental_best_fit(item_agg, elem_ok, loads, cap, cap,
+                         np.empty(2, dtype=np.int64))

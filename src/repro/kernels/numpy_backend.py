@@ -1,0 +1,168 @@
+"""The numpy/pure-Python kernel backend (the PR-3 hot paths, moved).
+
+This is the always-available reference implementation: the 2-D scalar
+fast paths run on Python floats over pre-extracted nested lists (per-item
+numpy calls cost more than the arithmetic at the paper's J≈100), the
+threshold table is a single ``(J, H, D)`` broadcast, and the dynamic
+newcomer fill is a per-item vectorized best-fit.  The compiled backends
+must reproduce these results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import KernelBackend
+
+__all__ = ["NumpyKernelBackend"]
+
+
+class NumpyKernelBackend(KernelBackend):
+    name = "numpy"
+
+    # -- First-Fit -----------------------------------------------------
+    def first_fit_2d(self, state, item_order, bin_order) -> bool:
+        """Scalar fast path: greedy per-bin fill on Python floats."""
+        agg = state.item_agg_rows
+        elem_ok = state.elem_ok_rows
+        pending = [int(j) for j in item_order]
+        for h in bin_order:
+            if not pending:
+                break
+            h = int(h)
+            l0 = float(state.loads[h, 0])
+            l1 = float(state.loads[h, 1])
+            c0 = float(state.bin_cap_tol[h, 0])
+            c1 = float(state.bin_cap_tol[h, 1])
+            taken = []
+            rest = []
+            for j in pending:
+                a = agg[j]
+                if elem_ok[j][h] and l0 + a[0] <= c0 and l1 + a[1] <= c1:
+                    l0 += a[0]
+                    l1 += a[1]
+                    taken.append(j)
+                else:
+                    rest.append(j)
+            if taken:
+                state.commit_bin(taken, h, (l0, l1))
+                pending = rest
+        return not pending
+
+    # -- Best-Fit ------------------------------------------------------
+    def best_fit(self, state, item_order,
+                 by_remaining_capacity: bool) -> bool:
+        for j in item_order:
+            fits = state.bins_fitting_item(j)
+            if not fits.any():
+                return False
+            # ``load_sum`` is maintained incrementally by ``place`` — an
+            # O(H) read per item instead of a fresh (H, D) reduction.
+            if by_remaining_capacity:
+                score = state.bin_agg_sum - state.load_sum
+            else:
+                score = -state.load_sum
+            # Among fitting bins pick the minimal score; break ties by
+            # index (masked argmin is stable on first occurrence).
+            score = np.where(fits, score, np.inf)
+            state.place(j, int(np.argmin(score)))
+        return True
+
+    # -- Permutation-Pack ----------------------------------------------
+    def permutation_pack_2d(self, state, codes_for, bin_order,
+                            by_remaining: bool) -> bool:
+        """Pointer-walk fast path for 2-D instances."""
+        agg = state.item_agg_rows
+        elem_ok = state.elem_ok_rows
+        pending = [int(j) for j in state.unplaced_items()]
+        for h in bin_order:
+            if not pending:
+                break
+            h = int(h)
+            l0 = float(state.loads[h, 0])
+            l1 = float(state.loads[h, 1])
+            c0 = float(state.bin_cap_tol[h, 0])
+            c1 = float(state.bin_cap_tol[h, 1])
+            if by_remaining:
+                b0 = float(state.bin_agg[h, 0])
+                b1 = float(state.bin_agg[h, 1])
+            else:
+                b0 = b1 = 0.0
+            k0 = l0 - b0
+            k1 = l1 - b1
+            K = len(pending)
+            # Sorted candidate positions per ranking, built lazily:
+            # ranking 0 is (0, 1) — dimension 0 emptier or tied —
+            # ranking 1 is (1, 0).
+            orders: list = [None, None]
+            ptrs = [0, 0]
+            dead = bytearray(K)
+            taken = []
+            while True:
+                r = 0 if k0 <= k1 else 1
+                lst = orders[r]
+                if lst is None:
+                    codes = codes_for((0, 1) if r == 0 else (1, 0))
+                    lst = orders[r] = np.argsort(codes[pending]).tolist()
+                p = ptrs[r]
+                sel = -1
+                while p < K:
+                    pos = lst[p]
+                    if dead[pos]:
+                        p += 1
+                        continue
+                    a = agg[pending[pos]]
+                    if elem_ok[pending[pos]][h] \
+                            and l0 + a[0] <= c0 and l1 + a[1] <= c1:
+                        sel = pos
+                        break
+                    # Unfit now means unfit for good on this bin.
+                    dead[pos] = 1
+                    p += 1
+                ptrs[r] = p
+                if sel < 0:
+                    break                                # bin exhausted
+                j = pending[sel]
+                a = agg[j]
+                l0 += a[0]
+                l1 += a[1]
+                k0 = l0 - b0
+                k1 = l1 - b1
+                dead[sel] = 1
+                taken.append(j)
+                if len(taken) == K:
+                    break
+            if taken:
+                state.commit_bin(taken, h, (l0, l1))
+                if state.complete:
+                    return True
+                taken_set = set(taken)
+                pending = [j for j in pending if j not in taken_set]
+        return state.complete
+
+    # -- probe factory -------------------------------------------------
+    def affine_fit_thresholds(self, req, need, cap) -> np.ndarray:
+        slack = cap[None, :, :] - req[:, None, :]          # (J, H, D)
+        need_b = need[:, None, :]
+        rigid = np.where(slack >= 0, np.inf, -np.inf)
+        thr = np.where(need_b > 0,
+                       slack / np.where(need_b > 0, need_b, 1.0),
+                       rigid)
+        return thr.min(axis=2)
+
+    # -- dynamic simulator ---------------------------------------------
+    def incremental_best_fit(self, req_agg, elem_fit, loads, agg,
+                             cap_tol) -> np.ndarray:
+        out = np.empty(req_agg.shape[0], dtype=np.int64)
+        for i in range(req_agg.shape[0]):
+            fits = (elem_fit[i]
+                    & (loads + req_agg[i] <= cap_tol).all(axis=1))
+            cands = np.flatnonzero(fits)
+            if cands.size == 0:
+                out[i] = -1
+                continue
+            remaining = (agg[cands] - loads[cands]).sum(axis=1)
+            h = int(cands[np.argmin(remaining)])  # best fit
+            out[i] = h
+            loads[h] += req_agg[i]
+        return out

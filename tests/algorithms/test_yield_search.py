@@ -109,3 +109,133 @@ class TestDriverMechanics:
             inst, oracle_packer(1.0), improve=False)
         assert alloc is not None
         assert alloc.minimum_yield() == 0.0
+
+
+class _CountingOracle:
+    """Ideal monotone oracle (feasible iff y <= threshold) with a probe
+    counter — the warm-start machinery's equivalence reference."""
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.probes = 0
+
+    def __call__(self, instance, y):
+        self.probes += 1
+        if y <= self.threshold:
+            return np.zeros(instance.num_services, dtype=np.int64)
+        return None
+
+
+class TestWarmStart:
+    """Warm ≡ cold certified yields, in fewer probes."""
+
+    THRESHOLDS = (0.05, 0.123, 0.29, 0.4273, 0.4999, 0.5)
+
+    def _solve(self, target, hint=None):
+        inst = shared_node_instance()
+        oracle = _CountingOracle(target)
+        stats = {}
+        alloc = binary_search_max_yield(inst, oracle, improve=False,
+                                        hint=hint, stats=stats)
+        assert alloc is not None
+        return alloc.minimum_yield(), oracle.probes, stats
+
+    def test_exact_hint_matches_cold_yield(self):
+        for target in self.THRESHOLDS:
+            cold_y, cold_probes, _ = self._solve(target)
+            warm_y, warm_probes, stats = self._solve(target, hint=target)
+            assert warm_y == cold_y, target
+            # A hint at/above the capacity bound is correctly ignored.
+            assert stats["hint_used"] == (target < 0.5)
+            assert stats["certified"] == cold_y
+
+    def test_wrong_hints_match_cold_yield(self):
+        """Any hint — far low, far high, slightly off — certifies the
+        cold answer against a monotone oracle."""
+        for target in self.THRESHOLDS:
+            cold_y, _, _ = self._solve(target)
+            for hint in (0.001, 0.499, target - 0.07, target + 0.07,
+                         target - 2e-4, target + 2e-4):
+                if not 0.0 < hint < 0.5:
+                    continue
+                warm_y, _, stats = self._solve(target, hint=hint)
+                assert warm_y == cold_y, (target, hint)
+
+    def test_good_hint_halves_probe_count(self):
+        ratios = []
+        for target in self.THRESHOLDS:
+            if target >= 0.5:
+                continue  # capacity-bound case: cold is already 1 probe
+            cold_y, cold_probes, _ = self._solve(target)
+            _, warm_probes, _ = self._solve(target, hint=cold_y)
+            ratios.append(cold_probes / warm_probes)
+        assert min(ratios) >= 2.0, ratios
+
+    def test_out_of_range_hints_are_ignored(self):
+        inst = shared_node_instance()
+        for hint in (-1.0, 0.0, 0.5, 2.0, float("nan"), float("inf")):
+            stats = {}
+            alloc = binary_search_max_yield(
+                inst, oracle_packer(0.3), improve=False, hint=hint,
+                stats=stats)
+            assert not stats["hint_used"], hint
+            assert alloc.minimum_yield() == pytest.approx(0.3, abs=DEFAULT_TOLERANCE)
+
+    def test_warm_search_reaches_capacity_bound(self):
+        """A hint far below a fully-satisfiable instance must still
+        certify the upper bound exactly (deferred bound probe climbs)."""
+        inst = shared_node_instance()
+        cold = binary_search_max_yield(inst, oracle_packer(1.0),
+                                       improve=False)
+        warm = binary_search_max_yield(inst, oracle_packer(1.0),
+                                       improve=False, hint=0.05)
+        assert warm.minimum_yield() == cold.minimum_yield()
+
+    def test_warm_total_failure_returns_none(self):
+        inst = shared_node_instance()
+
+        def never(instance, y):
+            return None
+
+        assert binary_search_max_yield(inst, never, hint=0.25) is None
+
+    def test_stats_on_cold_solve(self):
+        inst = shared_node_instance()
+        stats = {}
+        alloc = binary_search_max_yield(inst, oracle_packer(0.3),
+                                        improve=False, stats=stats)
+        assert stats["probes"] > 0
+        assert stats["certified"] == alloc.minimum_yield()
+        assert not stats["hint_used"]
+
+
+class TestWarmStartMetaEngine:
+    """Warm ≡ cold against the real META* oracles on reference scenarios."""
+
+    def test_equivalence_and_probe_reduction(self):
+        from repro.algorithms.vector_packing import (
+            MetaProbeEngine,
+            hvp_light_strategies,
+        )
+        from repro.workloads import ScenarioConfig, generate_instance
+
+        strategies = hvp_light_strategies()
+        cold_total = warm_total = 0
+        for seed in (0, 1, 2):
+            for cov, slack in ((0.2, 0.4), (0.6, 0.5), (0.9, 0.7)):
+                inst = generate_instance(ScenarioConfig(
+                    hosts=10, services=30, cov=cov, slack=slack,
+                    seed=seed, instance_index=0))
+                sc, sw = {}, {}
+                cold = binary_search_max_yield(
+                    inst, MetaProbeEngine(inst, strategies),
+                    improve=False, stats=sc)
+                assert cold is not None
+                warm = binary_search_max_yield(
+                    inst, MetaProbeEngine(inst, strategies),
+                    improve=False, hint=sc["certified"], stats=sw)
+                assert warm.minimum_yield() == cold.minimum_yield()
+                assert (warm.placement == cold.placement).all()
+                cold_total += sc["probes"]
+                warm_total += sw["probes"]
+        assert cold_total >= 2 * warm_total, (cold_total, warm_total)

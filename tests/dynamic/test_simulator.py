@@ -91,3 +91,92 @@ class TestErrorHandling:
         for policy in ("ALLOCCAPS", "ALLOCWEIGHTS", "EQUALWEIGHTS"):
             result = make_sim(platform, trace, policy=policy).run()
             assert len(result.steps) == trace.horizon
+
+
+class TestMetricsEdgeCases:
+    def test_empty_result_averages_are_zero(self):
+        """Zero-step results must not emit RuntimeWarnings or NaNs."""
+        from repro.dynamic import SimulationResult
+        import warnings
+
+        result = SimulationResult()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.average_pending == 0.0
+            assert result.average_min_yield == 0.0
+            assert result.total_migrations == 0
+
+    def test_never_placed_run_averages_are_zero(self):
+        """Steps exist but nothing was ever placed: no NaN from the
+        min-yield average."""
+        from repro.dynamic import SimulationResult
+        from repro.dynamic.simulator import StepRecord
+        import warnings
+
+        result = SimulationResult(steps=[
+            StepRecord(t, 3, 0, 3, 0, 0.0, 0.0) for t in range(4)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.average_min_yield == 0.0
+            assert result.average_pending == 3.0
+
+
+class TestVectorizedHotPath:
+    def test_incremental_loads_stay_consistent(self, platform, trace):
+        """The loads maintained across steps match a from-scratch
+        rebuild at every step (validate_loads raises otherwise)."""
+        for period in (1, 3, 5):
+            result = make_sim(platform, trace, reallocation_period=period,
+                              validate_loads=True).run()
+            assert len(result.steps) == trace.horizon
+
+    def test_incremental_loads_consistent_under_adaptive(self, platform,
+                                                         trace):
+        from repro.sharing.adaptive import AdaptiveThreshold
+
+        result = make_sim(platform, trace, max_error=0.2,
+                          adaptive=AdaptiveThreshold(initial=0.05),
+                          validate_loads=True, rng=1).run()
+        assert len(result.steps) == trace.horizon
+
+
+class TestWarmStartedReallocation:
+    @pytest.fixture(scope="class")
+    def steady(self):
+        """A steady-state hosting trace: long-lived services, moderate
+        arrivals — consecutive epochs re-pack similar active sets."""
+        from repro.dynamic import generate_trace
+        from repro.workloads import generate_platform
+
+        platform = generate_platform(hosts=8, cov=0.5, rng=11)
+        trace = generate_trace(horizon=48, mean_arrivals_per_step=0.5,
+                               mean_lifetime_steps=60.0, rng=12,
+                               initial_services=16)
+        return platform, trace
+
+    def _run(self, steady, warm):
+        platform, trace = steady
+        sim = DynamicSimulator(platform, trace, placer=metahvp_light(),
+                               reallocation_period=1, cpu_need_scale=0.15,
+                               rng=0, warm_start=warm)
+        return sim, sim.run()
+
+    def test_metrics_unchanged_and_probes_halved(self, steady):
+        cold_sim, cold = self._run(steady, warm=False)
+        warm_sim, warm = self._run(steady, warm=True)
+        # Identical step records: same placements, yields, migrations.
+        assert warm.as_rows() == cold.as_rows()
+        assert warm_sim.search_solves == cold_sim.search_solves
+        assert cold_sim.search_probes >= 2 * warm_sim.search_probes, (
+            cold_sim.search_probes, warm_sim.search_probes)
+
+    def test_warm_start_metrics_unchanged_on_bursty_trace(self, platform,
+                                                          trace):
+        """Even when hints drift (bursty arrivals), results never change
+        — only the probe count does."""
+        results = {}
+        for warm in (False, True):
+            sim = make_sim(platform, trace, reallocation_period=2,
+                           warm_start=warm)
+            results[warm] = sim.run()
+        assert results[True].as_rows() == results[False].as_rows()

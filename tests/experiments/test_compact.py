@@ -1,0 +1,116 @@
+"""Tests for ``repro compact`` — JSONL checkpoint garbage collection.
+
+A compacted checkpoint must be indistinguishable from the original to
+every consumer: ``load_results``/``merge_results`` see the same task set,
+a resumed ``ResultStore``/``JsonlCheckpoint`` sees the same completed
+map, and the file shrinks by exactly the superseded/foreign records.
+"""
+
+import json
+
+from repro.cli import main
+from repro.experiments import SMOKE_GRID, run_grid
+from repro.experiments.persistence import (
+    JsonlCheckpoint,
+    ResultStore,
+    append_results,
+    compact_checkpoint,
+    load_results,
+    merge_results,
+    save_results,
+    scenario_key,
+)
+
+ALGOS = ("METAGREEDY",)
+
+
+def _write_duplicated(tmp_path, dupes=2):
+    """A checkpoint holding every task `dupes + 1` times plus two
+    checkpoint-kind records (one of them superseded)."""
+    results = run_grid(SMOKE_GRID.configs(), ALGOS, workers=1)
+    path = str(tmp_path / "ck.jsonl")
+    save_results(results, path)
+    for _ in range(dupes):
+        append_results(results, path)
+    with JsonlCheckpoint(path, kind="other-sweep") as ck:
+        ck.append(["fp", 0], {"value": 1})
+        ck.append(["fp", 0], {"value": 2})  # supersedes the first
+        ck.append(["fp", 1], {"value": 3})
+    return path, results
+
+
+class TestCompact:
+    def test_roundtrip_against_merge_results(self, tmp_path):
+        path, results = _write_duplicated(tmp_path)
+        merged_before = merge_results([load_results(path)])
+        stats = compact_checkpoint(path)
+        merged_after = merge_results([load_results(path)])
+        assert ([scenario_key(t.config) for t in merged_after]
+                == [scenario_key(t.config) for t in merged_before])
+        assert len(load_results(path)) == len(results)
+        assert stats.superseded == 2 * len(results) + 1
+        assert stats.foreign == 0
+
+    def test_resume_view_unchanged(self, tmp_path):
+        path, _ = _write_duplicated(tmp_path)
+        before_tasks = ResultStore(path, resume=True).completed
+        before_ck = JsonlCheckpoint(path, kind="other-sweep",
+                                    resume=True).completed
+        compact_checkpoint(path)
+        after_tasks = ResultStore(path, resume=True).completed
+        after_ck = JsonlCheckpoint(path, kind="other-sweep",
+                                   resume=True).completed
+        assert set(after_tasks) == set(before_tasks)
+        assert after_ck == before_ck
+
+    def test_kinds_filter_drops_foreign(self, tmp_path):
+        path, results = _write_duplicated(tmp_path)
+        stats = compact_checkpoint(path, kinds=["task"])
+        assert stats.foreign == 3  # all other-sweep records dropped
+        assert stats.kept == len(results)
+        assert JsonlCheckpoint(path, kind="other-sweep",
+                               resume=True).completed == {}
+        assert len(load_results(path)) == len(results)
+
+    def test_output_path_leaves_original_untouched(self, tmp_path):
+        path, results = _write_duplicated(tmp_path)
+        out = str(tmp_path / "compacted.jsonl")
+        before = open(path).read()
+        compact_checkpoint(path, output=out)
+        assert open(path).read() == before
+        assert len(load_results(out)) == len(results)
+
+    def test_partial_final_line_dropped(self, tmp_path):
+        path, results = _write_duplicated(tmp_path, dupes=0)
+        with open(path, "a") as fh:
+            fh.write('{"v": 1, "config": {"trunc')
+        stats = compact_checkpoint(path)
+        # 3 checkpoint-kind records dedupe to 2; the partial line is gone.
+        assert stats.kept == len(results) + 2
+        assert stats.superseded == 1
+        # The rewritten file is fully parseable again.
+        for line in open(path):
+            json.loads(line)
+
+    def test_cli_command(self, tmp_path, capsys):
+        path, results = _write_duplicated(tmp_path)
+        assert main(["compact", path]) == 0
+        out = capsys.readouterr().out
+        assert "superseded" in out
+        assert len(load_results(path)) == len(results)
+
+    def test_unrecognized_kind_records_preserved_verbatim(self, tmp_path):
+        """A kind-tagged record without a ``key`` belongs to some other
+        tool: compaction must keep it as-is, never crash or dedupe it."""
+        path, results = _write_duplicated(tmp_path, dupes=0)
+        alien = {"kind": "alien-tool", "data": 1}
+        with open(path, "a") as fh:
+            fh.write(json.dumps(alien) + "\n")
+            fh.write(json.dumps(alien) + "\n")  # not ours: no dedup
+        stats = compact_checkpoint(path)
+        kept = [json.loads(line) for line in open(path)]
+        assert kept.count(alien) == 2
+        assert stats.kept == len(results) + 2 + 2
+        # But the kinds filter can drop them.
+        stats = compact_checkpoint(path, kinds=["task"])
+        assert stats.foreign == 4  # 2 alien + 2 other-sweep
