@@ -21,6 +21,23 @@ recomputed, so the output is identical to an uninterrupted run)::
 
     repro --checkpoint t1.jsonl table1 --paper          # killed at 40%...
     repro --checkpoint t1.jsonl --resume table1 --paper # ...finishes the rest
+
+``--workload`` selects the scenario generator for any experiment
+(``google``, ``heavy-tailed``, ``trace``; parameters via
+``NAME:param=val,...``)::
+
+    repro table1 --workload heavy-tailed:cpu_tail_index=1.2
+    repro fig-cov --workload trace:path=services.csv
+
+Any experiment can be split across machines.  ``repro shard`` runs one
+deterministic slice of an experiment's task list into its own checkpoint
+(the experiment command line goes after ``--``, global options included);
+``repro merge`` combines the shard files and renders the final
+table/figure, byte-identical to an unsharded run::
+
+    machine-a$ repro shard --index 0 --of 2 -- --checkpoint s0.jsonl table1 --paper
+    machine-b$ repro shard --index 1 --of 2 -- --checkpoint s1.jsonl table1 --paper
+    anywhere$  repro merge --from s0.jsonl --from s1.jsonl table1 --paper
 """
 
 from __future__ import annotations
@@ -37,18 +54,18 @@ from .experiments import (
     CovFigureSpec,
     ErrorFigureSpec,
     GridSpec,
-    format_cov_figure,
-    format_error_figure,
-    format_table1,
-    format_table2,
-    run_cov_figure,
-    run_error_figure,
-    run_table1,
-    run_table2,
+    IncompleteResultsError,
+    Shard,
+    cov_figure_experiment,
+    error_figure_experiment,
+    table1_experiment,
+    table2_experiment,
 )
 from . import kernels
 from .experiments.report import ensure_dir
+from .experiments.spec import ExperimentSpec
 from .experiments.table1 import DEFAULT_TABLE1_ALGORITHMS
+from .workloads import parse_workload, workload_names
 
 __all__ = ["main", "build_parser"]
 
@@ -79,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="packing-kernel implementation (default: the "
                              "REPRO_KERNEL_BACKEND env var, else 'auto' = "
                              "fastest available of numba/native/numpy)")
+    parser.add_argument("--workload", default="google", metavar="NAME[:k=v,...]",
+                        help="workload model for every scenario "
+                             f"(registered: {', '.join(workload_names())}; "
+                             "e.g. heavy-tailed:cpu_tail_index=1.2 or "
+                             "trace:path=services.csv)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="pairwise comparisons (Table 1)")
@@ -127,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="probe engine: v2 shares per-instance "
                          "precomputation across strategies (default); "
                          "v1 is the seed engine")
+    rk.add_argument("--no-warm-start", dest="warm_start",
+                    action="store_false",
+                    help="disable the per-strategy hint chain (every "
+                         "config's yield search runs cold)")
 
     dy = sub.add_parser("dynamic",
                         help="dynamic hosting simulation (future-work)")
@@ -140,6 +166,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     al = sub.add_parser("all", help="run every experiment at quick scale")
     al.add_argument("--paper", action="store_true")
+
+    sh = sub.add_parser(
+        "shard",
+        help="run one slice of an experiment's task list "
+             "(repro shard --index I --of N -- [global options] COMMAND ...)")
+    sh.add_argument("--index", type=int, required=True,
+                    help="this machine's shard number, 0-based")
+    sh.add_argument("--of", type=int, required=True,
+                    help="total number of shards")
+    sh.add_argument("rest", nargs=argparse.REMAINDER, metavar="command",
+                    help="the experiment to shard: a full repro command "
+                         "line (use '--' before global options such as "
+                         "--checkpoint, which every shard run requires)")
+
+    mg = sub.add_parser(
+        "merge",
+        help="combine shard checkpoints and render the final table/figure "
+             "(repro merge --from A.jsonl --from B.jsonl COMMAND ...)")
+    mg.add_argument("--from", dest="sources", action="append", required=True,
+                    metavar="PATH", help="a shard checkpoint (repeatable)")
+    mg.add_argument("--into", default=None, metavar="PATH",
+                    help="also write the de-duplicated union of the "
+                         "shards to this JSONL file")
+    mg.add_argument("rest", nargs=argparse.REMAINDER, metavar="command",
+                    help="the experiment the shards belong to (same "
+                         "command line the shards ran, minus --checkpoint)")
 
     co = sub.add_parser("compact",
                         help="garbage-collect a JSONL checkpoint "
@@ -211,7 +263,7 @@ def _run_kwargs(args: argparse.Namespace, label: str) -> dict:
 
 def _grid(args: argparse.Namespace) -> GridSpec:
     grid = PAPER_GRID if args.paper else QUICK_GRID
-    overrides = {"seed": args.seed}
+    overrides = {"seed": args.seed, "workload": args.workload}
     if getattr(args, "instances", None):
         overrides["instances"] = args.instances
     return dataclasses.replace(grid, **overrides)
@@ -228,24 +280,18 @@ def _emit(args: argparse.Namespace, name: str, text: str, data=None) -> None:
             data.to_csv(os.path.join(args.output, f"{name}.csv"))
 
 
-def _cmd_table1(args) -> None:
+def _spec_table1(args) -> tuple[ExperimentSpec, str]:
     algorithms = args.algorithms or list(DEFAULT_TABLE1_ALGORITHMS)
     if getattr(args, "include_light", False) and "METAHVPLIGHT" not in algorithms:
         algorithms = list(algorithms) + ["METAHVPLIGHT"]
-    kwargs = _run_kwargs(args, "table1")
-    data = run_table1(_grid(args), algorithms, workers=args.workers, **kwargs)
-    kwargs["progress"].finish()
-    _emit(args, "table1", format_table1(data))
+    return table1_experiment(_grid(args), algorithms), "table1"
 
 
-def _cmd_table2(args) -> None:
+def _spec_table2(args) -> tuple[ExperimentSpec, str]:
     algorithms = ["RRNZ", "METAGREEDY", "METAVP", "METAHVP"]
     if args.include_light:
         algorithms.append("METAHVPLIGHT")
-    kwargs = _run_kwargs(args, "table2")
-    data = run_table2(_grid(args), algorithms, workers=args.workers, **kwargs)
-    kwargs["progress"].finish()
-    _emit(args, "table2", format_table2(data))
+    return table2_experiment(_grid(args), algorithms), "table2"
 
 
 def _cov_spec(args) -> CovFigureSpec:
@@ -256,7 +302,7 @@ def _cov_spec(args) -> CovFigureSpec:
             hosts=16, services=48, instances=3,
             cov_values=tuple(round(0.1 * i, 6) for i in range(10)),
             seed=args.seed)
-    overrides = {}
+    overrides = {"workload": args.workload}
     if args.services:
         overrides["services"] = args.services
     if args.hosts:
@@ -269,17 +315,14 @@ def _cov_spec(args) -> CovFigureSpec:
     return dataclasses.replace(spec, **overrides)
 
 
-def _cmd_fig_cov(args) -> None:
+def _spec_fig_cov(args) -> tuple[ExperimentSpec, str]:
     spec = _cov_spec(args)
-    kwargs = _run_kwargs(args, "fig-cov")
-    data = run_cov_figure(spec, workers=args.workers, **kwargs)
-    kwargs["progress"].finish()
     name = f"fig-cov-J{spec.services}-slack{spec.slack:g}"
     if spec.cpu_homogeneous:
         name += "-cpuhom"
     if spec.mem_homogeneous:
         name += "-memhom"
-    _emit(args, name, format_cov_figure(data), data)
+    return cov_figure_experiment(spec), name
 
 
 def _error_spec(args) -> ErrorFigureSpec:
@@ -291,7 +334,8 @@ def _error_spec(args) -> ErrorFigureSpec:
             error_values=tuple(round(0.04 * i, 6) for i in range(8)),
             placer="METAHVPLIGHT", seed=args.seed)
     overrides = {"slack": args.slack, "cov": args.cov,
-                 "include_caps": args.include_caps}
+                 "include_caps": args.include_caps,
+                 "workload": args.workload}
     if args.services:
         overrides["services"] = args.services
     if args.hosts:
@@ -303,13 +347,47 @@ def _error_spec(args) -> ErrorFigureSpec:
     return dataclasses.replace(spec, **overrides)
 
 
-def _cmd_fig_error(args) -> None:
+def _spec_fig_error(args) -> tuple[ExperimentSpec, str]:
     spec = _error_spec(args)
-    kwargs = _run_kwargs(args, "fig-error")
-    data = run_error_figure(spec, workers=args.workers, **kwargs)
-    kwargs["progress"].finish()
     name = f"fig-error-J{spec.services}-slack{spec.slack:g}-cov{spec.cov:g}"
-    _emit(args, name, format_error_figure(data), data)
+    return error_figure_experiment(spec), name
+
+
+def _spec_rank_strategies(args) -> tuple[ExperimentSpec, str]:
+    from .experiments.strategy_ranking import strategy_ranking_experiment
+    from .workloads import ScenarioConfig
+    model = parse_workload(args.workload)
+    configs = [
+        ScenarioConfig(hosts=args.hosts, services=args.services, cov=cov,
+                       slack=0.5, seed=args.seed, instance_index=idx,
+                       model=model)
+        for cov in (0.25, 0.75)
+        for idx in range(max(1, args.instances // 2))
+    ]
+    spec = strategy_ranking_experiment(configs, engine=args.engine,
+                                       warm_start=args.warm_start,
+                                       top_n=args.top)
+    return spec, "strategy-ranking"
+
+
+#: Experiment commands that resolve to a shardable :class:`ExperimentSpec`.
+_SPEC_BUILDERS = {
+    "table1": _spec_table1,
+    "table2": _spec_table2,
+    "fig-cov": _spec_fig_cov,
+    "fig-error": _spec_fig_error,
+    "rank-strategies": _spec_rank_strategies,
+}
+
+
+def _run_spec(args: argparse.Namespace) -> None:
+    """The one driver behind every experiment command: build the spec,
+    stream it through the runner, render and emit."""
+    spec, name = _SPEC_BUILDERS[args.command](args)
+    kwargs = _run_kwargs(args, args.command)
+    data = spec.run(workers=args.workers, **kwargs)
+    kwargs["progress"].finish()
+    _emit(args, name, spec.render(data), data)
 
 
 def _subcheckpoint(args: argparse.Namespace, name: str) -> str | None:
@@ -325,21 +403,25 @@ def _cmd_all(args) -> None:
     ns.instances = None
     ns.algorithms = None
     ns.include_light = True
+    ns.command = "table1"
     ns.checkpoint = _subcheckpoint(args, "table1")
-    _cmd_table1(ns)
+    _run_spec(ns)
+    ns.command = "table2"
     ns.checkpoint = _subcheckpoint(args, "table2")
-    _cmd_table2(ns)
+    _run_spec(ns)
     for services in (None,):
         for variant in ("none", "cpu", "mem"):
             cov_ns = argparse.Namespace(**vars(args))
+            cov_ns.command = "fig-cov"
             cov_ns.services = services
             cov_ns.hosts = None
             cov_ns.instances = None
             cov_ns.slack = 0.3
             cov_ns.variant = variant
             cov_ns.checkpoint = _subcheckpoint(args, f"fig-cov-{variant}")
-            _cmd_fig_cov(cov_ns)
+            _run_spec(cov_ns)
     err_ns = argparse.Namespace(**vars(args))
+    err_ns.command = "fig-error"
     err_ns.services = None
     err_ns.hosts = None
     err_ns.instances = None
@@ -348,23 +430,86 @@ def _cmd_all(args) -> None:
     err_ns.placer = None
     err_ns.include_caps = True
     err_ns.checkpoint = _subcheckpoint(args, "fig-error")
-    _cmd_fig_error(err_ns)
+    _run_spec(err_ns)
 
 
-def _cmd_rank_strategies(args) -> None:
-    from .experiments.strategy_ranking import format_ranking, rank_strategies
-    from .workloads import ScenarioConfig
-    configs = [
-        ScenarioConfig(hosts=args.hosts, services=args.services, cov=cov,
-                       slack=0.5, seed=args.seed, instance_index=idx)
-        for cov in (0.25, 0.75)
-        for idx in range(max(1, args.instances // 2))
-    ]
-    kwargs = _run_kwargs(args, "rank-strategies")
-    ranking = rank_strategies(configs, workers=args.workers,
-                              engine=args.engine, **kwargs)
+def _apply_global_options(args: argparse.Namespace,
+                          parser: argparse.ArgumentParser) -> None:
+    """Validate and apply the global options of one parsed ``repro`` argv
+    — the top-level one or the inner argv of a shard/merge call."""
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
+    if args.command in _SPEC_BUILDERS or args.command == "all":
+        try:
+            parse_workload(args.workload)  # validate NAME[:k=v,...] early
+        except (KeyError, ValueError) as exc:
+            parser.error(f"--workload: {exc}")
+    if args.kernel_backend is not None:
+        try:
+            # persist_env so experiment worker processes inherit the
+            # choice (task descriptors don't carry it).
+            kernels.use_backend(args.kernel_backend, persist_env=True)
+        except kernels.KernelBackendUnavailable as exc:
+            parser.error(str(exc))
+
+
+def _parse_inner(rest: list[str], parser: argparse.ArgumentParser,
+                 context: str) -> argparse.Namespace:
+    """Parse the experiment command line embedded in a shard/merge call.
+
+    *rest* is a full ``repro`` argv (global options first, as usual); a
+    leading ``--`` — argparse's option terminator, required when the
+    inner argv starts with an option — is stripped.  The inner argv's
+    global options (--workload, --kernel-backend, ...) are validated and
+    applied exactly as a direct invocation's would be.
+    """
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        parser.error(f"{context}: missing the experiment command "
+                     "(e.g. 'repro shard --index 0 --of 2 -- "
+                     "--checkpoint s0.jsonl table1')")
+    inner = build_parser().parse_args(rest)
+    if inner.command not in _SPEC_BUILDERS:
+        parser.error(f"{context}: {inner.command!r} cannot be sharded; "
+                     f"choose from {sorted(_SPEC_BUILDERS)}")
+    _apply_global_options(inner, parser)
+    return inner
+
+
+def _cmd_shard(args, parser: argparse.ArgumentParser) -> None:
+    inner = _parse_inner(args.rest, parser, "shard")
+    if not inner.checkpoint:
+        parser.error("shard: the experiment needs --checkpoint (each "
+                     "shard writes its own JSONL file to merge later)")
+    try:
+        shard = Shard(args.index, args.of)
+    except ValueError as exc:
+        parser.error(str(exc))
+    spec, _ = _SPEC_BUILDERS[inner.command](inner)
+    label = f"shard {shard.index}/{shard.of} {inner.command}"
+    kwargs = _run_kwargs(inner, label)
+    done = spec.run_shard(shard, workers=inner.workers, **kwargs)
     kwargs["progress"].finish()
-    _emit(args, "strategy-ranking", format_ranking(ranking, top_n=args.top))
+    total = spec.task_count()
+    print(f"{label}: {done} of {total} tasks -> {inner.checkpoint}")
+    print(f"merge with: repro merge --from {inner.checkpoint} "
+          f"[--from ...] {inner.command} ...")
+
+
+def _cmd_merge(args, parser: argparse.ArgumentParser) -> None:
+    inner = _parse_inner(args.rest, parser, "merge")
+    spec, name = _SPEC_BUILDERS[inner.command](inner)
+    if args.into:
+        from .experiments import merge_checkpoints
+        stats = merge_checkpoints(args.sources, args.into)
+        print(f"{args.into}: merged {stats.kept} records "
+              f"({stats.superseded} duplicates dropped)")
+    try:
+        data = spec.collect(args.sources)
+    except IncompleteResultsError as exc:
+        parser.error(f"merge: {exc}")
+    _emit(inner, name, spec.render(data), data)
 
 
 def _cmd_compact(args) -> None:
@@ -406,11 +551,11 @@ def _cmd_dynamic(args) -> None:
 
 
 _COMMANDS = {
-    "table1": _cmd_table1,
-    "table2": _cmd_table2,
-    "fig-cov": _cmd_fig_cov,
-    "fig-error": _cmd_fig_error,
-    "rank-strategies": _cmd_rank_strategies,
+    "table1": _run_spec,
+    "table2": _run_spec,
+    "fig-cov": _run_spec,
+    "fig-error": _run_spec,
+    "rank-strategies": _run_spec,
     "dynamic": _cmd_dynamic,
     "all": _cmd_all,
     "compact": _cmd_compact,
@@ -420,16 +565,13 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.resume and not args.checkpoint:
-        parser.error("--resume requires --checkpoint")
-    if args.kernel_backend is not None:
-        try:
-            # persist_env so experiment worker processes inherit the
-            # choice (task descriptors don't carry it).
-            kernels.use_backend(args.kernel_backend, persist_env=True)
-        except kernels.KernelBackendUnavailable as exc:
-            parser.error(str(exc))
-    _COMMANDS[args.command](args)
+    _apply_global_options(args, parser)
+    if args.command == "shard":
+        _cmd_shard(args, parser)
+    elif args.command == "merge":
+        _cmd_merge(args, parser)
+    else:
+        _COMMANDS[args.command](args)
     return 0
 
 

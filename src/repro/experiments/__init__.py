@@ -11,12 +11,14 @@ from .config import PAPER_GRID, QUICK_GRID, SMOKE_GRID, GridSpec
 from .figures_cov import (
     CovFigureData,
     CovFigureSpec,
+    cov_figure_experiment,
     format_cov_figure,
     run_cov_figure,
 )
 from .figures_error import (
     ErrorFigureData,
     ErrorFigureSpec,
+    error_figure_experiment,
     format_error_figure,
     run_error_figure,
 )
@@ -31,6 +33,7 @@ from .persistence import (
     ResultStore,
     append_results,
     load_results,
+    merge_checkpoints,
     merge_results,
     save_results,
     scenario_key,
@@ -45,17 +48,35 @@ from .runner import (
     make_algorithms,
     run_grid,
 )
-from .table1 import Table1Data, format_table1, run_table1
-from .table2 import Table2Data, format_table2, run_table2, table2_from_results
+from .spec import (
+    CheckpointExperiment,
+    ExperimentSpec,
+    GridExperiment,
+    IncompleteResultsError,
+    Shard,
+    shard_index,
+)
+from .table1 import Table1Data, format_table1, run_table1, table1_experiment
+from .table2 import (
+    Table2Data,
+    format_table2,
+    run_table2,
+    table2_experiment,
+    table2_from_results,
+)
 
 __all__ = [
     "ALGORITHM_FACTORIES",
     "AlgorithmResult",
+    "CheckpointExperiment",
     "CovFigureData",
     "CovFigureSpec",
     "ErrorFigureData",
     "ErrorFigureSpec",
+    "ExperimentSpec",
+    "GridExperiment",
     "GridSpec",
+    "IncompleteResultsError",
     "JsonlCheckpoint",
     "MeanCI",
     "PAPER_GRID",
@@ -63,12 +84,15 @@ __all__ = [
     "QUICK_GRID",
     "ResultStore",
     "SMOKE_GRID",
+    "Shard",
     "Table1Data",
     "Table2Data",
     "TaskResult",
     "append_results",
     "average_yield",
     "bootstrap_mean_ci",
+    "cov_figure_experiment",
+    "error_figure_experiment",
     "format_cov_figure",
     "format_error_figure",
     "format_matrix",
@@ -79,6 +103,7 @@ __all__ = [
     "line_chart",
     "load_results",
     "make_algorithms",
+    "merge_checkpoints",
     "merge_results",
     "paired_difference_ci",
     "pairwise_comparison",
@@ -89,10 +114,13 @@ __all__ = [
     "run_table2",
     "save_results",
     "scenario_key",
+    "shard_index",
     "sparkline",
     "success_rate",
-    "task_key",
+    "table1_experiment",
+    "table2_experiment",
     "table2_from_results",
+    "task_key",
     "win_loss_tie",
     "write_csv",
 ]

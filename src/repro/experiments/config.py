@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 
-from ..workloads import ScenarioConfig
+from ..workloads import DEFAULT_WORKLOAD, ScenarioConfig, parse_workload
 
 __all__ = ["GridSpec", "PAPER_GRID", "QUICK_GRID", "SMOKE_GRID"]
 
@@ -34,6 +34,9 @@ class GridSpec:
     slack_values: tuple[float, ...] = _float_range(0.1, 0.9, 0.1)
     instances: int = 100
     seed: int = 2012  # IPDPS year; any fixed value works
+    #: Workload-model id (``registry.parse_workload`` syntax); every
+    #: config in the grid carries the resolved model.
+    workload: str = DEFAULT_WORKLOAD
 
     def scenario_count(self) -> int:
         return (len(self.services) * len(self.cov_values)
@@ -44,6 +47,7 @@ class GridSpec:
 
     def configs(self, services: int | None = None) -> Iterator[ScenarioConfig]:
         """All scenario configs, optionally restricted to one service count."""
+        model = parse_workload(self.workload)
         service_list = (self.services if services is None else (services,))
         for J in service_list:
             for cov in self.cov_values:
@@ -51,7 +55,8 @@ class GridSpec:
                     for idx in range(self.instances):
                         yield ScenarioConfig(
                             hosts=self.hosts, services=J, cov=cov,
-                            slack=slack, seed=self.seed, instance_index=idx)
+                            slack=slack, seed=self.seed, instance_index=idx,
+                            model=model)
 
 
 PAPER_GRID = GridSpec()

@@ -5,21 +5,27 @@ coefficient of variation; each point is one instance's minimum-yield
 difference from METAHVP for one competitor algorithm, with per-CoV
 averages overlaid.  Figures 3 and 4 pin CPU (resp. memory) capacities at
 the median.  Points below zero mean METAHVP was beaten on that instance.
+
+Declared as a :class:`~.spec.GridExperiment` via
+:func:`cov_figure_experiment`; :func:`run_cov_figure` is the wrapper kept
+for existing callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
-from ..workloads import ScenarioConfig
+from ..workloads import DEFAULT_WORKLOAD, ScenarioConfig, parse_workload
 from .report import format_table, write_csv
-from .runner import ProgressCallback, iter_grid
+from .runner import ProgressCallback, TaskResult
+from .spec import GridExperiment
 
 __all__ = ["CovFigureSpec", "CovFigureData", "run_cov_figure",
-           "format_cov_figure", "DEFAULT_COV_COMPETITORS"]
+           "format_cov_figure", "cov_figure_experiment",
+           "DEFAULT_COV_COMPETITORS"]
 
 DEFAULT_COV_COMPETITORS = ("RRNZ", "METAGREEDY", "METAVP")
 BASELINE = "METAHVP"
@@ -44,15 +50,17 @@ class CovFigureSpec:
     mem_homogeneous: bool = False
     competitors: tuple[str, ...] = DEFAULT_COV_COMPETITORS
     seed: int = 2012
+    workload: str = DEFAULT_WORKLOAD
 
     def configs(self):
+        model = parse_workload(self.workload)
         for cov in self.cov_values:
             for idx in range(self.instances):
                 yield ScenarioConfig(
                     hosts=self.hosts, services=self.services, cov=cov,
                     slack=self.slack, seed=self.seed, instance_index=idx,
                     cpu_homogeneous=self.cpu_homogeneous,
-                    mem_homogeneous=self.mem_homogeneous)
+                    mem_homogeneous=self.mem_homogeneous, model=model)
 
 
 @dataclass(frozen=True)
@@ -74,19 +82,11 @@ class CovFigureData:
         write_csv(path, ("algorithm", "cov", "yield_diff_vs_metahvp"), rows)
 
 
-def run_cov_figure(spec: CovFigureSpec,
-                   workers: int | None = None,
-                   *,
-                   checkpoint=None,
-                   resume: bool = False,
-                   window: int | None = None,
-                   progress: ProgressCallback | None = None) -> CovFigureData:
-    algorithms = tuple(spec.competitors) + (BASELINE,)
+def _reduce_cov(spec: CovFigureSpec,
+                stream: Iterator[TaskResult]) -> CovFigureData:
     points: dict[str, list[tuple[float, float]]] = {
         a: [] for a in spec.competitors}
-    for task in iter_grid(spec.configs(), algorithms, workers, window=window,
-                          checkpoint=checkpoint, resume=resume,
-                          progress=progress):
+    for task in stream:
         by_algo = task.by_algorithm()
         base = by_algo[BASELINE].min_yield
         if base is None:
@@ -107,6 +107,29 @@ def run_cov_figure(spec: CovFigureSpec,
         {a: tuple(pts) for a, pts in points.items()},
         averages,
     )
+
+
+def cov_figure_experiment(spec: CovFigureSpec) -> GridExperiment:
+    """Declare one CoV figure as a shardable experiment spec."""
+    return GridExperiment(
+        name="fig-cov",
+        configs=spec.configs,
+        algorithms=tuple(spec.competitors) + (BASELINE,),
+        reduce=lambda exp, stream: _reduce_cov(spec, stream),
+        formatter=format_cov_figure,
+    )
+
+
+def run_cov_figure(spec: CovFigureSpec,
+                   workers: int | None = None,
+                   *,
+                   checkpoint=None,
+                   resume: bool = False,
+                   window: int | None = None,
+                   progress: ProgressCallback | None = None) -> CovFigureData:
+    return cov_figure_experiment(spec).run(
+        workers, checkpoint=checkpoint, resume=resume, window=window,
+        progress=progress)
 
 
 def format_cov_figure(data: CovFigureData) -> str:

@@ -32,17 +32,21 @@ from ..sharing import (
     perturb_cpu_needs,
     zero_knowledge_placement,
 )
-from ..util.parallel import parallel_imap_cached
 from ..util.rng import derive_seed
-from ..workloads import ScenarioConfig, generate_instance
-from .persistence import as_jsonl_checkpoint, fingerprinted_cache
+from ..workloads import (
+    DEFAULT_WORKLOAD,
+    ScenarioConfig,
+    generate_instance,
+    parse_workload,
+)
 from .report import format_table, write_csv
 from .runner import ALGORITHM_FACTORIES
+from .spec import CheckpointExperiment
 
 CHECKPOINT_KIND = "error-figure"
 
 __all__ = ["ErrorFigureSpec", "ErrorFigureData", "run_error_figure",
-           "format_error_figure"]
+           "format_error_figure", "error_figure_experiment"]
 
 DEFAULT_ERRORS = tuple(round(0.02 * i, 6) for i in range(16))  # 0 .. 0.30
 DEFAULT_THRESHOLDS = (0.0, 0.1, 0.3)
@@ -63,11 +67,16 @@ class ErrorFigureSpec:
     placer: str = "METAHVP"
     include_caps: bool = False
     seed: int = 2012
+    #: Workload-model id; part of the checkpoint fingerprint (via
+    #: ``asdict``), so payloads computed under one model can never answer
+    #: a resume under another.
+    workload: str = DEFAULT_WORKLOAD
 
     def base_config(self, idx: int) -> ScenarioConfig:
         return ScenarioConfig(hosts=self.hosts, services=self.services,
                               cov=self.cov, slack=self.slack,
-                              seed=self.seed, instance_index=idx)
+                              seed=self.seed, instance_index=idx,
+                              model=parse_workload(self.workload))
 
 
 @dataclass(frozen=True)
@@ -186,37 +195,10 @@ def _decode_payload(data) -> Optional[dict[str, dict[float, float]]]:
             for name, pairs in data["series"]}
 
 
-def run_error_figure(spec: ErrorFigureSpec,
-                     workers: int | None = None,
-                     *,
-                     checkpoint=None,
-                     resume: bool = False,
-                     window: int | None = None,
-                     progress=None) -> ErrorFigureData:
-    tasks = [_InstanceTask(spec, i) for i in range(spec.instances)]
-    ckpt = as_jsonl_checkpoint(checkpoint, kind=CHECKPOINT_KIND,
-                               resume=resume)
-    fp = _spec_fingerprint(spec)
-    cache = fingerprinted_cache(ckpt, fp,
-                                lambda key, payload: _decode_payload(payload))
-
-    def on_computed(key: str, value) -> None:
-        ckpt.append(json.loads(key), _encode_payload(value))
-
-    per_instance = []
-    try:
-        for result in parallel_imap_cached(
-                _run_instance, tasks, cache,
-                key=lambda t: json.dumps([fp, t.index], sort_keys=True),
-                workers=workers, window=window,
-                on_computed=None if ckpt is None else on_computed,
-                progress=progress):
-            if result is not None:
-                per_instance.append(result)
-    finally:
-        if ckpt is not None and ckpt is not checkpoint:
-            ckpt.close()
-    # Average each series point over the instances that produced it.
+def _reduce_error(spec: ErrorFigureSpec, payloads) -> ErrorFigureData:
+    """Average each series point over the instances that produced it
+    (``None`` payloads are dropped instances)."""
+    per_instance = [p for p in payloads if p is not None]
     acc: dict[str, dict[float, list[float]]] = {}
     for result in per_instance:
         for name, curve in result.items():
@@ -227,6 +209,34 @@ def run_error_figure(spec: ErrorFigureSpec,
         for name, curve in acc.items()
     }
     return ErrorFigureData(spec, series, solved_instances=len(per_instance))
+
+
+def error_figure_experiment(spec: ErrorFigureSpec) -> CheckpointExperiment:
+    """Declare one error figure as a shardable experiment spec."""
+    return CheckpointExperiment(
+        name="fig-error",
+        kind=CHECKPOINT_KIND,
+        fingerprint=_spec_fingerprint(spec),
+        tasks=tuple(_InstanceTask(spec, i) for i in range(spec.instances)),
+        worker=_run_instance,
+        index_of=lambda task: task.index,
+        encode=_encode_payload,
+        decode=lambda index, payload: _decode_payload(payload),
+        reduce=lambda exp, payloads: _reduce_error(spec, payloads),
+        formatter=format_error_figure,
+    )
+
+
+def run_error_figure(spec: ErrorFigureSpec,
+                     workers: int | None = None,
+                     *,
+                     checkpoint=None,
+                     resume: bool = False,
+                     window: int | None = None,
+                     progress=None) -> ErrorFigureData:
+    return error_figure_experiment(spec).run(
+        workers, checkpoint=checkpoint, resume=resume, window=window,
+        progress=progress)
 
 
 def format_error_figure(data: ErrorFigureData, chart: bool = True) -> str:

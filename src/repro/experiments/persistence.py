@@ -27,7 +27,12 @@ import json
 import os
 from typing import IO, Iterable, Iterator, Optional, Sequence
 
-from ..workloads import ScenarioConfig
+from ..workloads import (
+    ScenarioConfig,
+    workload_from_json,
+    workload_id,
+    workload_to_json,
+)
 from .runner import AlgorithmResult, TaskResult
 
 __all__ = [
@@ -41,6 +46,7 @@ __all__ = [
     "compact_checkpoint",
     "fingerprinted_cache",
     "load_results",
+    "merge_checkpoints",
     "merge_results",
     "save_results",
     "scenario_key",
@@ -58,10 +64,14 @@ _CONFIG_FIELDS = ("hosts", "services", "cov", "slack", "cpu_homogeneous",
 def scenario_key(config: ScenarioConfig) -> tuple:
     """The grid coordinates identifying one scenario cell.
 
-    Note the workload *model* is not part of the key (or of the serialized
-    form): persisted grids assume the default Google-trace model.
+    The workload model's canonical id is part of the key, so a checkpoint
+    written under one model can never silently answer a resume under
+    another — the mismatched key simply isn't found and the task reruns.
+    Records predating the registry carry no workload entry and load as the
+    default Google model, whose id they always were.
     """
-    return tuple(getattr(config, f) for f in _CONFIG_FIELDS)
+    return tuple(getattr(config, f) for f in _CONFIG_FIELDS) \
+        + (workload_id(config.model),)
 
 
 def task_key(config: ScenarioConfig, algorithms: Sequence[str]) -> tuple:
@@ -76,9 +86,11 @@ def task_key(config: ScenarioConfig, algorithms: Sequence[str]) -> tuple:
 
 def task_to_dict(task: TaskResult) -> dict:
     cfg = task.config
+    config = {f: getattr(cfg, f) for f in _CONFIG_FIELDS}
+    config["workload"] = workload_to_json(cfg.model)
     return {
         "v": FORMAT_VERSION,
-        "config": {f: getattr(cfg, f) for f in _CONFIG_FIELDS},
+        "config": config,
         "results": [
             {"algorithm": r.algorithm, "min_yield": r.min_yield,
              "seconds": r.seconds}
@@ -90,7 +102,9 @@ def task_to_dict(task: TaskResult) -> dict:
 def task_from_dict(data: dict) -> TaskResult:
     if data.get("v") != FORMAT_VERSION:
         raise ValueError(f"unsupported results format version: {data.get('v')!r}")
-    cfg = ScenarioConfig(**data["config"])
+    fields = dict(data["config"])
+    model = workload_from_json(fields.pop("workload", None))
+    cfg = ScenarioConfig(model=model, **fields)
     results = tuple(
         AlgorithmResult(r["algorithm"], r["min_yield"], r["seconds"])
         for r in data["results"]
@@ -444,18 +458,45 @@ def compact_checkpoint(path: str, output: Optional[str] = None,
         # identity's first appearance in the file.
         survivors[_record_identity(rec, total)] = rec
     superseded = total - foreign - len(survivors)
-    out_path = output or path
+    _write_records_atomic(output or path, survivors.values())
+    return CompactStats(len(survivors), superseded, foreign)
+
+
+def _write_records_atomic(out_path: str, records: Iterable[dict]) -> None:
+    """Write *records* as JSONL via a temp file + fsync + rename, so a
+    crash mid-rewrite never leaves a half-written checkpoint."""
     parent = os.path.dirname(out_path)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    tmp = out_path + ".compact-tmp"
+    tmp = out_path + ".rewrite-tmp"
     with open(tmp, "w") as fh:
-        for rec in survivors.values():
+        for rec in records:
             fh.write(json.dumps(rec) + "\n")
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, out_path)
-    return CompactStats(len(survivors), superseded, foreign)
+
+
+def merge_checkpoints(paths: Sequence[str], output: str) -> CompactStats:
+    """Concatenate shard checkpoints into one de-duplicated file.
+
+    Records are read from *paths* in order; the first occurrence of each
+    identity wins (mirroring :func:`merge_results`), so layering a re-run
+    over older shards keeps the fresh values by listing the re-run first.
+    Task records and :class:`JsonlCheckpoint` records both merge; a
+    partial final line in any shard — a run killed mid-append — is
+    skipped.  The merged file is written atomically and stays loadable by
+    every resume/collect path, so it doubles as a combined result file.
+    """
+    survivors: dict[tuple, dict] = {}
+    total = 0
+    for path in paths:
+        for rec in _iter_records(path, tolerate_partial=True):
+            total += 1
+            survivors.setdefault(_record_identity(rec, total), rec)
+    _write_records_atomic(output, survivors.values())
+    return CompactStats(kept=len(survivors),
+                        superseded=total - len(survivors), foreign=0)
 
 
 def fingerprinted_cache(ckpt: Optional[JsonlCheckpoint], fingerprint: str,

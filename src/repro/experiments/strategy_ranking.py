@@ -31,15 +31,15 @@ from ..algorithms.vector_packing import (
 )
 from ..algorithms.vector_packing.meta import DEFAULT_ENGINE, single_strategy_algorithm
 from ..algorithms.yield_search import binary_search_max_yield
-from ..util.parallel import parallel_imap_cached
 from ..workloads import ScenarioConfig, generate_instance
-from .persistence import as_jsonl_checkpoint, fingerprinted_cache, scenario_key
+from .persistence import scenario_key
 from .report import format_table
+from .spec import CheckpointExperiment
 
 CHECKPOINT_KIND = "strategy-rank"
 
 __all__ = ["StrategyRanking", "rank_strategies", "format_ranking",
-           "light_set_audit"]
+           "light_set_audit", "strategy_ranking_experiment"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,11 @@ class _StrategyTask:
     strategy_index: int
     configs: tuple[ScenarioConfig, ...]
     engine: str = DEFAULT_ENGINE
+    #: Seed each config's yield search with the previous config's
+    #: certified yield *for this same strategy* (see PR 4's warm starts).
+    #: The chain lives entirely inside the task, so checkpoint resume and
+    #: sharding see identical results.
+    warm_start: bool = True
 
 
 #: Per-process cache of (config → YieldProbeFactory): all 253 strategy
@@ -107,21 +112,33 @@ def _evaluate_strategy(task: _StrategyTask) -> StrategyStats:
     if task.engine == "v1":
         algo = single_strategy_algorithm(strategy, engine="v1")
 
-        def solve(cfg):
-            return algo(generate_instance(cfg))
+        def solve(cfg, hint):
+            return algo(generate_instance(cfg)), None
     else:
-        def solve(cfg):
+        def solve(cfg, hint):
             factory = _probe_factory(cfg)
             oracle = MetaProbeEngine(factory.instance, (strategy,),
                                      factory=factory)
-            return binary_search_max_yield(factory.instance, oracle)
+            stats: dict = {}
+            alloc = binary_search_max_yield(factory.instance, oracle,
+                                            hint=hint, stats=stats)
+            return alloc, stats.get("certified")
     yields = []
     successes = 0
+    # Per-strategy hint chain: consecutive configs of one task differ
+    # only in CoV/instance draw, so the previous config's certified yield
+    # is a strong bracket seed for the next search.  Single strategies
+    # fail often, and a failure certifies nothing — the chain resets to a
+    # cold search after every failed config.
+    hint: float | None = None
     for cfg in task.configs:
-        alloc = solve(cfg)
+        alloc, certified = solve(cfg, hint if task.warm_start else None)
         if alloc is not None:
             successes += 1
             yields.append(alloc.minimum_yield())
+            hint = certified
+        else:
+            hint = None
     return StrategyStats(
         strategy=strategy,
         successes=successes,
@@ -131,10 +148,13 @@ def _evaluate_strategy(task: _StrategyTask) -> StrategyStats:
 
 
 def _configs_fingerprint(configs: Sequence[ScenarioConfig],
-                         engine: str) -> str:
-    # The engine is part of the identity: v1/v2 certify equal yields only
-    # up to the search tolerance, so their checkpoints must not mix.
-    blob = json.dumps([[scenario_key(c) for c in configs], engine])
+                         engine: str, warm_start: bool) -> str:
+    # The engine and warm-start flag are part of the identity: v1/v2 (and
+    # warm/cold searches on a non-monotone single-strategy oracle) certify
+    # equal yields only up to the search tolerance, so their checkpoints
+    # must not mix.  scenario_key embeds each config's workload-model id.
+    blob = json.dumps([[scenario_key(c) for c in configs], engine,
+                       warm_start])
     return hashlib.sha1(blob.encode()).hexdigest()[:12]
 
 
@@ -154,6 +174,36 @@ def _decode_stats(index: int, data: dict) -> StrategyStats:
                          average_yield=data["average_yield"])
 
 
+def _reduce_ranking(exp: CheckpointExperiment,
+                    stats: Sequence[StrategyStats]) -> StrategyRanking:
+    ordered = tuple(sorted(stats, key=StrategyStats.sort_key, reverse=True))
+    return StrategyRanking(ordered)
+
+
+def strategy_ranking_experiment(configs: Sequence[ScenarioConfig],
+                                engine: str = DEFAULT_ENGINE,
+                                warm_start: bool = True,
+                                top_n: int = 25) -> CheckpointExperiment:
+    """Declare the §5.1 exploration as a shardable experiment spec.
+
+    One task per basic HVP strategy; *top_n* only affects the rendering.
+    """
+    configs = tuple(configs)
+    return CheckpointExperiment(
+        name="rank-strategies",
+        kind=CHECKPOINT_KIND,
+        fingerprint=_configs_fingerprint(configs, engine, warm_start),
+        tasks=tuple(_StrategyTask(i, configs, engine, warm_start)
+                    for i in range(len(hvp_strategies()))),
+        worker=_evaluate_strategy,
+        index_of=lambda task: task.strategy_index,
+        encode=_encode_stats,
+        decode=_decode_stats,
+        reduce=_reduce_ranking,
+        formatter=lambda ranking: format_ranking(ranking, top_n=top_n),
+    )
+
+
 def rank_strategies(configs: Sequence[ScenarioConfig],
                     workers: int | None = None,
                     *,
@@ -161,40 +211,21 @@ def rank_strategies(configs: Sequence[ScenarioConfig],
                     resume: bool = False,
                     window: int | None = None,
                     progress=None,
-                    engine: str = DEFAULT_ENGINE) -> StrategyRanking:
+                    engine: str = DEFAULT_ENGINE,
+                    warm_start: bool = True) -> StrategyRanking:
     """Evaluate every basic HVP strategy on *configs* and rank them.
 
     With *checkpoint*/``resume=True``, per-strategy stats are persisted as
     they complete and already-evaluated strategies (for this exact config
-    set and probe engine) are answered from disk.  *engine* selects the
-    probe engine ("v2" shares per-instance precomputation across all
-    strategies evaluated in a worker process; "v1" is the seed path).
+    set, probe engine and warm-start policy) are answered from disk.
+    *engine* selects the probe engine ("v2" shares per-instance
+    precomputation across all strategies evaluated in a worker process;
+    "v1" is the seed path).  *warm_start* chains each strategy's yield
+    searches across its configs (cold fallback after failures).
     """
-    configs = tuple(configs)
-    tasks = [_StrategyTask(i, configs, engine)
-             for i in range(len(hvp_strategies()))]
-    ckpt = as_jsonl_checkpoint(checkpoint, kind=CHECKPOINT_KIND,
-                               resume=resume)
-    fp = _configs_fingerprint(configs, engine)
-    cache = fingerprinted_cache(
-        ckpt, fp, lambda key, payload: _decode_stats(key[1], payload))
-
-    def on_computed(key: str, stats: StrategyStats) -> None:
-        ckpt.append(json.loads(key), _encode_stats(stats))
-
-    stats = []
-    try:
-        stats = list(parallel_imap_cached(
-            _evaluate_strategy, tasks, cache,
-            key=lambda t: json.dumps([fp, t.strategy_index], sort_keys=True),
-            workers=workers, window=window,
-            on_computed=None if ckpt is None else on_computed,
-            progress=progress))
-    finally:
-        if ckpt is not None and ckpt is not checkpoint:
-            ckpt.close()
-    ordered = tuple(sorted(stats, key=StrategyStats.sort_key, reverse=True))
-    return StrategyRanking(ordered)
+    return strategy_ranking_experiment(configs, engine, warm_start).run(
+        workers, checkpoint=checkpoint, resume=resume, window=window,
+        progress=progress)
 
 
 def light_set_audit(ranking: StrategyRanking, top_n: int = 50

@@ -6,12 +6,18 @@ on commonly-solved instances, and the success-rate difference in
 percentage points.  The paper's Table 1 covers RRND, RRNZ, METAGREEDY,
 METAVP and METAHVP; §5.1's METAHVP-vs-METAHVPLIGHT numbers come from the
 same machinery with ``--include-light``.
+
+The experiment is declared as a :class:`~.spec.GridExperiment`
+(:func:`table1_experiment`): the grid's configs are the task list, the
+reducer streams yields per service count, and :func:`format_table1`
+renders the matrices.  :func:`run_table1` is the materializing wrapper
+kept for existing callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from .config import GridSpec
 from .metrics import (
@@ -20,11 +26,11 @@ from .metrics import (
     pairwise_comparison,
     success_rate,
 )
-from .persistence import as_result_store
 from .report import format_matrix, format_table
-from .runner import ProgressCallback, iter_grid
+from .runner import ProgressCallback, TaskResult
+from .spec import GridExperiment
 
-__all__ = ["Table1Data", "run_table1", "format_table1",
+__all__ = ["Table1Data", "run_table1", "format_table1", "table1_experiment",
            "DEFAULT_TABLE1_ALGORITHMS"]
 
 DEFAULT_TABLE1_ALGORITHMS = ("RRND", "RRNZ", "METAGREEDY", "METAVP",
@@ -42,6 +48,49 @@ class Table1Data:
     instance_counts: Mapping[int, int]
 
 
+def _reduce_table1(spec: GridExperiment,
+                   stream: Iterator[TaskResult]) -> Table1Data:
+    """Fold the in-order result stream into the Table-1 matrices.
+
+    Only per-algorithm yield columns are retained (grouped by service
+    count as they arrive), not the TaskResults themselves.
+    """
+    algorithms = spec.algorithms
+    yields_by_j: dict[int, dict[str, list[float | None]]] = {}
+    counts: dict[int, int] = {}
+    for task in stream:
+        J = task.config.services
+        yields = yields_by_j.setdefault(
+            J, {a: [] for a in algorithms})
+        counts[J] = counts.get(J, 0) + 1
+        by_algo = task.by_algorithm()
+        for a in algorithms:
+            yields[a].append(by_algo[a].min_yield)
+    rates = {J: {a: success_rate(y[a]) for a in algorithms}
+             for J, y in yields_by_j.items()}
+    avgs = {J: {a: average_yield(y[a]) for a in algorithms}
+            for J, y in yields_by_j.items()}
+    matrices = {
+        J: {(a, b): pairwise_comparison(y[a], y[b])
+            for a in algorithms for b in algorithms if a != b}
+        for J, y in yields_by_j.items()
+    }
+    return Table1Data(algorithms, matrices, rates, avgs, counts)
+
+
+def table1_experiment(grid: GridSpec,
+                      algorithms: Sequence[str] = DEFAULT_TABLE1_ALGORITHMS
+                      ) -> GridExperiment:
+    """Declare Table 1 over *grid* as a shardable experiment spec."""
+    return GridExperiment(
+        name="table1",
+        configs=grid.configs,
+        algorithms=tuple(algorithms),
+        reduce=_reduce_table1,
+        formatter=format_table1,
+    )
+
+
 def run_table1(grid: GridSpec,
                algorithms: Sequence[str] = DEFAULT_TABLE1_ALGORITHMS,
                workers: int | None = None,
@@ -52,38 +101,12 @@ def run_table1(grid: GridSpec,
                progress: ProgressCallback | None = None) -> Table1Data:
     """Run the grid and assemble the Table-1 matrices.
 
-    Results stream in (only the per-algorithm yield columns are retained,
-    not the TaskResults) and, with *checkpoint*, are appended to a JSONL
+    Results stream in and, with *checkpoint*, are appended to a JSONL
     file as they complete; ``resume=True`` skips coordinates already in it.
     """
-    algorithms = tuple(algorithms)
-    matrices: dict[int, dict[tuple[str, str], PairwiseComparison]] = {}
-    rates: dict[int, dict[str, float]] = {}
-    avgs: dict[int, dict[str, float]] = {}
-    counts: dict[int, int] = {}
-    store = as_result_store(checkpoint, resume=resume)
-    try:
-        for J in grid.services:
-            yields: dict[str, list[float | None]] = {a: [] for a in algorithms}
-            count = 0
-            for task in iter_grid(grid.configs(services=J), algorithms,
-                                  workers, window=window, checkpoint=store,
-                                  progress=progress):
-                count += 1
-                by_algo = task.by_algorithm()
-                for a in algorithms:
-                    yields[a].append(by_algo[a].min_yield)
-            counts[J] = count
-            rates[J] = {a: success_rate(yields[a]) for a in algorithms}
-            avgs[J] = {a: average_yield(yields[a]) for a in algorithms}
-            matrices[J] = {
-                (a, b): pairwise_comparison(yields[a], yields[b])
-                for a in algorithms for b in algorithms if a != b
-            }
-    finally:
-        if store is not None and store is not checkpoint:
-            store.close()
-    return Table1Data(algorithms, matrices, rates, avgs, counts)
+    return table1_experiment(grid, algorithms).run(
+        workers, checkpoint=checkpoint, resume=resume, window=window,
+        progress=progress)
 
 
 def format_table1(data: Table1Data) -> str:

@@ -6,21 +6,25 @@ same instance grid as Table 1.  Absolute numbers differ from the paper's
 reproduced claims are the *relative* ordering — RRNZ ≫ METAHVP > METAVP ≫
 METAGREEDY — the ≈3× METAHVP/METAVP ratio and the ≈10× METAHVPLIGHT
 speed-up of §5.1.
+
+Declared as a :class:`~.spec.GridExperiment` with ``warm_chain=False``:
+Table 2 reports *standalone* run times, so a solve must not be
+accelerated by a sibling algorithm's answer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
 from .config import GridSpec
-from .persistence import as_result_store
 from .report import format_table
-from .runner import ProgressCallback, TaskResult, iter_grid
+from .runner import ProgressCallback, TaskResult
+from .spec import GridExperiment
 
-__all__ = ["Table2Data", "run_table2", "format_table2",
+__all__ = ["Table2Data", "run_table2", "format_table2", "table2_experiment",
            "DEFAULT_TABLE2_ALGORITHMS"]
 
 DEFAULT_TABLE2_ALGORITHMS = ("RRNZ", "METAGREEDY", "METAVP", "METAHVP")
@@ -33,6 +37,35 @@ class Table2Data:
     instance_counts: Mapping[int, int]
 
 
+def _reduce_table2(spec: GridExperiment,
+                   stream: Iterator[TaskResult]) -> Table2Data:
+    per_j: dict[int, dict[str, list[float]]] = {}
+    counts: dict[int, int] = {}
+    for task in stream:
+        J = task.config.services
+        per_algo = per_j.setdefault(J, {a: [] for a in spec.algorithms})
+        counts[J] = counts.get(J, 0) + 1
+        for r in task.results:
+            per_algo[r.algorithm].append(r.seconds)
+    means = {J: {a: float(np.mean(v)) for a, v in per_algo.items()}
+             for J, per_algo in per_j.items()}
+    return Table2Data(spec.algorithms, means, counts)
+
+
+def table2_experiment(grid: GridSpec,
+                      algorithms: Sequence[str] = DEFAULT_TABLE2_ALGORITHMS
+                      ) -> GridExperiment:
+    """Declare Table 2 over *grid* as a shardable experiment spec."""
+    return GridExperiment(
+        name="table2",
+        configs=grid.configs,
+        algorithms=tuple(algorithms),
+        reduce=_reduce_table2,
+        formatter=format_table2,
+        warm_chain=False,
+    )
+
+
 def run_table2(grid: GridSpec,
                algorithms: Sequence[str] = DEFAULT_TABLE2_ALGORITHMS,
                workers: int | None = None,
@@ -41,28 +74,9 @@ def run_table2(grid: GridSpec,
                resume: bool = False,
                window: int | None = None,
                progress: ProgressCallback | None = None) -> Table2Data:
-    algorithms = tuple(algorithms)
-    means: dict[int, dict[str, float]] = {}
-    counts: dict[int, int] = {}
-    store = as_result_store(checkpoint, resume=resume)
-    try:
-        for J in grid.services:
-            count = 0
-            per_algo: dict[str, list[float]] = {a: [] for a in algorithms}
-            # warm_chain off: Table 2 reports *standalone* run times, so
-            # a solve must not be accelerated by a sibling's answer.
-            for task in iter_grid(grid.configs(services=J), algorithms,
-                                  workers, window=window, checkpoint=store,
-                                  progress=progress, warm_chain=False):
-                count += 1
-                for r in task.results:
-                    per_algo[r.algorithm].append(r.seconds)
-            counts[J] = count
-            means[J] = {a: float(np.mean(v)) for a, v in per_algo.items()}
-    finally:
-        if store is not None and store is not checkpoint:
-            store.close()
-    return Table2Data(algorithms, means, counts)
+    return table2_experiment(grid, algorithms).run(
+        workers, checkpoint=checkpoint, resume=resume, window=window,
+        progress=progress)
 
 
 def table2_from_results(results_by_j: Mapping[int, Sequence[TaskResult]],

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.instance import ProblemInstance
 from ..util.rng import derive_seed
-from .google_model import DEFAULT_MODEL, GoogleWorkloadModel
+from .google_model import DEFAULT_MODEL
 from .platforms import generate_platform
 from .scaling import scale_instance
 
@@ -39,7 +39,9 @@ class ScenarioConfig:
     mem_homogeneous: bool = False
     seed: int = 0
     instance_index: int = 0
-    model: GoogleWorkloadModel = field(default=DEFAULT_MODEL)
+    #: Workload model (any registered family — see ``workloads.registry``);
+    #: must be a frozen dataclass exposing ``generate_services(n, rng)``.
+    model: object = field(default=DEFAULT_MODEL)
 
     def with_index(self, instance_index: int) -> "ScenarioConfig":
         return replace(self, instance_index=instance_index)

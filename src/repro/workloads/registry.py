@@ -1,0 +1,216 @@
+"""Pluggable workload-model registry.
+
+Every scenario names a *workload model* — the generator of raw service
+descriptors that §4's rescalings turn into experiment instances.  This
+registry maps short names to model classes so drivers, checkpoints and the
+CLI can refer to models declaratively:
+
+* ``parse_workload("heavy-tailed:cpu_tail_index=1.2")`` builds a model
+  from the CLI syntax ``NAME[:param=val,...]`` (scalar parameters; for
+  tuple-valued parameters use the JSON form
+  ``NAME:{"core_weights": [...]}``).
+* ``workload_id(model)`` is the model's canonical string — the identity
+  that checkpoint fingerprints embed, so results computed under one model
+  can never silently answer a resume under another.
+* ``workload_to_json(model)`` / ``workload_from_json(data)`` round-trip a
+  model through the JSONL task records.
+
+Registering a new family is one call::
+
+    register_workload("my-model", MyWorkloadModel)
+
+where ``MyWorkloadModel`` is a frozen dataclass with defaults for every
+field and a ``generate_services(n, rng)`` method (see
+:class:`~.google_model.GoogleWorkloadModel` for the descriptor
+conventions).  Only parameters that differ from the field defaults enter
+the id, so ids stay stable when a model grows new defaulted fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from functools import lru_cache
+from typing import Iterable, Mapping
+
+from .google_model import DEFAULT_MODEL, GoogleWorkloadModel
+from .heavy_tailed import HeavyTailedWorkloadModel
+from .trace import TraceWorkloadModel
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "make_workload",
+    "parse_workload",
+    "register_workload",
+    "workload_from_json",
+    "workload_id",
+    "workload_names",
+    "workload_to_json",
+]
+
+#: Canonical name of the paper's default model.
+DEFAULT_WORKLOAD = "google"
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_workload(name: str, cls: type) -> None:
+    """Register *cls* (a frozen dataclass workload model) under *name*."""
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"workload model {cls!r} must be a dataclass")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"workload name {name!r} already registered "
+                         f"for {existing.__name__}")
+    _REGISTRY[name] = cls
+    parse_workload.cache_clear()
+
+
+def workload_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def _model_name(model: object) -> str:
+    for name, cls in _REGISTRY.items():
+        if type(model) is cls:
+            return name
+    raise KeyError(f"unregistered workload model type: "
+                   f"{type(model).__name__}")
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _non_default_params(model: object) -> dict:
+    """The model's parameters that differ from the dataclass defaults,
+    as JSON-able values, sorted by name."""
+    params: dict = {}
+    for f in dataclasses.fields(model):
+        value = getattr(model, f.name)
+        if f.default is not dataclasses.MISSING and value == f.default:
+            continue
+        if f.default is dataclasses.MISSING \
+                and f.default_factory is not dataclasses.MISSING \
+                and value == f.default_factory():
+            continue
+        params[f.name] = _jsonable(value)
+    return dict(sorted(params.items()))
+
+
+def _coerce(cls: type, name: str, value: object) -> object:
+    """Coerce *value* (possibly a CLI string) to field *name*'s type."""
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    if name not in fields:
+        raise KeyError(
+            f"unknown parameter {name!r} for workload "
+            f"{cls.__name__}; choose from {sorted(fields)}")
+    default = fields[name].default
+    if isinstance(value, list) or isinstance(default, tuple):
+        if isinstance(value, str):
+            value = json.loads(value)
+        return tuple(value) if isinstance(value, (list, tuple)) else value
+    if not isinstance(value, str):
+        return value
+    if isinstance(default, bool):
+        if value.lower() in ("true", "1", "yes"):
+            return True
+        if value.lower() in ("false", "0", "no"):
+            return False
+        raise ValueError(f"parameter {name!r}: expected a boolean, "
+                         f"got {value!r}")
+    if isinstance(default, int) and not isinstance(default, bool):
+        return int(value)
+    if isinstance(default, float):
+        return float(value)
+    return value
+
+
+def make_workload(name: str, params: Mapping | Iterable = ()) -> object:
+    """Instantiate the model registered as *name* with *params*.
+
+    String parameter values (from the CLI) are coerced to the field's
+    default type; list values become tuples where the field default is a
+    tuple.
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise KeyError(f"unknown workload model {name!r}; "
+                       f"choose from {workload_names()}")
+    items = params.items() if isinstance(params, Mapping) else params
+    kwargs = {k: _coerce(cls, k, v) for k, v in items}
+    return cls(**kwargs)
+
+
+def _format_scalar(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return str(value)
+
+
+def workload_id(model: object) -> str:
+    """Canonical string identity of *model* (name + non-default params).
+
+    ``"google"``, ``"heavy-tailed:cpu_tail_index=1.2"``, ... — parseable
+    back by :func:`parse_workload`.  Falls back to the JSON form when a
+    non-default parameter is not a scalar.
+    """
+    name = _model_name(model)
+    params = _non_default_params(model)
+    if not params:
+        return name
+    scalars = all(isinstance(v, (bool, int, float, str)) for v in
+                  params.values())
+    if scalars and not any("," in str(v) or "=" in str(v)
+                           for v in params.values()):
+        body = ",".join(f"{k}={_format_scalar(v)}" for k, v in params.items())
+    else:
+        body = json.dumps(params, sort_keys=True)
+    return f"{name}:{body}"
+
+
+@lru_cache(maxsize=256)
+def parse_workload(text: str) -> object:
+    """Build a model from ``NAME``, ``NAME:k=v,...`` or ``NAME:{json}``.
+
+    Cached: repeated parses of the same id (one per generated instance)
+    return the same frozen model object.
+    """
+    name, sep, body = text.partition(":")
+    name = name.strip()
+    if not sep or not body:
+        return make_workload(name)
+    body = body.strip()
+    if body.startswith("{"):
+        return make_workload(name, json.loads(body))
+    params = []
+    for part in body.split(","):
+        key, eq, value = part.partition("=")
+        if not eq:
+            raise ValueError(
+                f"malformed workload parameter {part!r} in {text!r} "
+                "(expected key=value)")
+        params.append((key.strip(), value.strip()))
+    return make_workload(name, params)
+
+
+def workload_to_json(model: object) -> dict:
+    """JSON-able form for task records: ``{"name": ..., "params": {...}}``."""
+    return {"name": _model_name(model), "params": _non_default_params(model)}
+
+
+def workload_from_json(data: Mapping | None) -> object:
+    """Inverse of :func:`workload_to_json`; ``None`` means the default
+    model (the form in which pre-registry checkpoints were written)."""
+    if data is None:
+        return DEFAULT_MODEL
+    return make_workload(data["name"], data.get("params") or {})
+
+
+register_workload("google", GoogleWorkloadModel)
+register_workload("heavy-tailed", HeavyTailedWorkloadModel)
+register_workload("trace", TraceWorkloadModel)

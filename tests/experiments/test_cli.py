@@ -77,3 +77,27 @@ class TestMainSmoke:
         out = capsys.readouterr().out
         assert "Top 5 of 253" in out
         assert "LIGHT members" in out
+
+    def test_table1_heavy_tailed_workload(self, capsys):
+        """A non-default workload flows through the same spec pipeline."""
+        rc = main(["--workers", "1",
+                   "--workload", "heavy-tailed:cpu_tail_index=1.4",
+                   "table1", "--instances", "1",
+                   "--algorithms", "METAGREEDY"])
+        assert rc == 0
+        assert "services" in capsys.readouterr().out
+
+    def test_fig_cov_trace_workload(self, tmp_path, capsys):
+        from repro.workloads import GoogleWorkloadModel, dump_trace
+        trace = str(tmp_path / "services.csv")
+        dump_trace(GoogleWorkloadModel().generate_services(40, rng=3), trace)
+        rc = main(["--workers", "1", "--workload", f"trace:path={trace}",
+                   "fig-cov", "--services", "16", "--hosts", "8",
+                   "--instances", "1"])
+        assert rc == 0
+        assert "Min-yield difference" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--workload", "bogus", "table1"])
+        assert "unknown workload" in capsys.readouterr().err

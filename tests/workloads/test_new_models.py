@@ -1,0 +1,151 @@
+"""Tests for the heavy-tailed and trace-replay workload families."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    GoogleWorkloadModel,
+    HeavyTailedWorkloadModel,
+    ScenarioConfig,
+    TraceWorkloadModel,
+    dump_trace,
+    generate_instance,
+    load_trace,
+)
+
+
+def arrays(sv):
+    return (sv.req_elem, sv.req_agg, sv.need_elem, sv.need_agg)
+
+
+class TestHeavyTailed:
+    def test_seeded_determinism(self):
+        model = HeavyTailedWorkloadModel()
+        a = model.generate_services(200, rng=42)
+        b = model.generate_services(200, rng=42)
+        for x, y in zip(arrays(a), arrays(b)):
+            assert np.array_equal(x, y)
+        c = model.generate_services(200, rng=43)
+        assert not np.array_equal(a.need_agg, c.need_agg)
+
+    def test_sample_bounds(self):
+        model = HeavyTailedWorkloadModel()
+        sv = model.generate_services(2000, rng=7)
+        cores = sv.need_agg[:, 0]
+        mem = sv.req_agg[:, 1]
+        assert (cores >= 1.0).all() and (cores <= model.cores_max).all()
+        assert cores.max() > 8  # actually heavier than the Google model
+        assert (mem >= model.mem_min).all() and (mem <= model.mem_max).all()
+        # Descriptor conventions shared with the Google model.
+        assert (sv.need_elem[:, 0] == 1.0).all()
+        assert (sv.req_elem[:, 0] == model.elementary_cpu_requirement).all()
+        assert (sv.need_agg[:, 1] == 0).all()  # memory is rigid
+        for arr in arrays(sv):
+            assert np.isfinite(arr).all() and (arr >= 0).all()
+
+    def test_integer_cores_default(self):
+        sv = HeavyTailedWorkloadModel().generate_services(500, rng=1)
+        cores = sv.need_agg[:, 0]
+        assert np.array_equal(cores, np.rint(cores))
+
+    @pytest.mark.parametrize("alpha", [1.2, 2.0])
+    def test_tail_index_sanity(self, alpha):
+        """The Hill estimator over the raw (uncapped, unrounded) core draw
+        recovers the configured tail index."""
+        model = HeavyTailedWorkloadModel(
+            cpu_tail_index=alpha, cores_max=1e12, integer_cores=False)
+        cores = model.sample_cores(np.random.default_rng(3), 200_000)
+        top = np.sort(cores)[-5000:]
+        hill = 1.0 / np.mean(np.log(top / top[0]))
+        assert hill == pytest.approx(alpha, rel=0.1)
+
+    def test_lognormal_memory_variant(self):
+        model = HeavyTailedWorkloadModel(mem_dist="lognormal")
+        mem = model.sample_memory(np.random.default_rng(0), 1000)
+        assert (mem >= model.mem_min).all() and (mem <= model.mem_max).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeavyTailedWorkloadModel(cpu_tail_index=0.0)
+        with pytest.raises(ValueError):
+            HeavyTailedWorkloadModel(mem_dist="uniform")
+        with pytest.raises(ValueError):
+            HeavyTailedWorkloadModel(cores_min=8, cores_max=4)
+
+    def test_flows_through_instance_generation(self):
+        cfg = ScenarioConfig(hosts=8, services=32, slack=0.5,
+                             model=HeavyTailedWorkloadModel())
+        inst = generate_instance(cfg)
+        assert len(inst.services) == 32
+        # §4 rescalings applied: CPU needs sum to platform CPU capacity.
+        assert inst.services.need_agg[:, 0].sum() == pytest.approx(
+            inst.nodes.aggregate[:, 0].sum())
+
+
+class TestTraceReplay:
+    @pytest.mark.parametrize("ext", ["csv", "jsonl"])
+    def test_round_trip_replay(self, tmp_path, ext):
+        """generate -> dump -> replay reproduces the services exactly."""
+        original = GoogleWorkloadModel().generate_services(64, rng=11)
+        path = str(tmp_path / f"trace.{ext}")
+        dump_trace(original, path)
+        replayed = TraceWorkloadModel(path, mode="replay") \
+            .generate_services(64, rng=999)  # rng must be irrelevant
+        for x, y in zip(arrays(original), arrays(replayed)):
+            assert np.array_equal(x, y)
+
+    def test_replay_cycles_past_trace_length(self, tmp_path):
+        sv = GoogleWorkloadModel().generate_services(10, rng=0)
+        path = str(tmp_path / "t.csv")
+        dump_trace(sv, path)
+        model = TraceWorkloadModel(path, mode="replay")
+        assert len(model) == 10
+        wrapped = model.generate_services(25)
+        assert np.array_equal(wrapped.need_agg[:10], wrapped.need_agg[10:20])
+
+    def test_sample_mode_seeded(self, tmp_path):
+        sv = GoogleWorkloadModel().generate_services(40, rng=5)
+        path = str(tmp_path / "t.jsonl")
+        dump_trace(sv, path)
+        model = TraceWorkloadModel(path)
+        a = model.generate_services(30, rng=1)
+        b = model.generate_services(30, rng=1)
+        c = model.generate_services(30, rng=2)
+        assert np.array_equal(a.req_agg, b.req_agg)
+        assert not np.array_equal(a.req_agg, c.req_agg)
+        # Every sampled row comes from the trace's empirical support.
+        trace_cores = set(sv.need_agg[:, 0])
+        assert set(a.need_agg[:, 0]) <= trace_cores
+
+    def test_load_trace_validates(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("cores,mem\n")
+        with pytest.raises(ValueError, match="empty trace"):
+            load_trace(str(empty))
+        bad_cols = tmp_path / "bad.csv"
+        bad_cols.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="cores"):
+            load_trace(str(bad_cols))
+        negative = tmp_path / "neg.jsonl"
+        negative.write_text('{"cores": 1.0, "mem": -0.5}\n')
+        with pytest.raises(ValueError, match="finite and > 0"):
+            load_trace(str(negative))
+        garbage = tmp_path / "g.jsonl"
+        garbage.write_text("not json\n")
+        with pytest.raises(ValueError, match="not a trace record"):
+            load_trace(str(garbage))
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="trace mode"):
+            TraceWorkloadModel("x.csv", mode="bogus")
+
+    def test_flows_through_instance_generation(self, tmp_path):
+        sv = GoogleWorkloadModel().generate_services(50, rng=2)
+        path = str(tmp_path / "t.csv")
+        dump_trace(sv, path)
+        cfg = ScenarioConfig(hosts=8, services=24, slack=0.4,
+                             model=TraceWorkloadModel(path))
+        inst = generate_instance(cfg)
+        assert len(inst.services) == 24
+        assert inst.services.need_agg[:, 0].sum() == pytest.approx(
+            inst.nodes.aggregate[:, 0].sum())

@@ -1,0 +1,120 @@
+"""Tests for the workload-model registry (names, parsing, identities)."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads import (
+    DEFAULT_MODEL,
+    GoogleWorkloadModel,
+    HeavyTailedWorkloadModel,
+    TraceWorkloadModel,
+    parse_workload,
+    register_workload,
+    workload_from_json,
+    workload_id,
+    workload_names,
+    workload_to_json,
+)
+
+
+class TestParse:
+    def test_bare_name(self):
+        assert parse_workload("google") == DEFAULT_MODEL
+        assert isinstance(parse_workload("heavy-tailed"),
+                          HeavyTailedWorkloadModel)
+
+    def test_scalar_params_coerced(self):
+        m = parse_workload(
+            "heavy-tailed:cpu_tail_index=1.2,integer_cores=false")
+        assert m.cpu_tail_index == 1.2
+        assert m.integer_cores is False
+
+    def test_trace_params(self):
+        m = parse_workload("trace:path=services.csv,mode=replay")
+        assert m == TraceWorkloadModel("services.csv", mode="replay")
+
+    def test_json_form(self):
+        m = parse_workload('google:{"core_choices": [1, 2],'
+                           ' "core_weights": [0.5, 0.5]}')
+        assert m.core_choices == (1, 2)
+        assert m.core_weights == (0.5, 0.5)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload model"):
+            parse_workload("bogus")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(KeyError, match="unknown parameter"):
+            parse_workload("google:nope=1")
+
+    def test_malformed_param_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_workload("google:oops")
+
+    def test_registered_names(self):
+        assert {"google", "heavy-tailed", "trace"} <= set(workload_names())
+
+
+class TestIdentity:
+    def test_default_id_is_bare_name(self):
+        assert workload_id(DEFAULT_MODEL) == "google"
+        assert workload_id(HeavyTailedWorkloadModel()) == "heavy-tailed"
+
+    def test_id_round_trips(self):
+        for model in (
+            HeavyTailedWorkloadModel(cpu_tail_index=1.25, mem_max=0.5),
+            TraceWorkloadModel("t.csv", mode="replay"),
+            GoogleWorkloadModel(mem_log_sigma=0.7),
+            GoogleWorkloadModel(core_choices=(1, 2),
+                                core_weights=(0.5, 0.5)),
+        ):
+            assert parse_workload(workload_id(model)) == model
+
+    def test_distinct_params_distinct_ids(self):
+        a = workload_id(HeavyTailedWorkloadModel(cpu_tail_index=1.2))
+        b = workload_id(HeavyTailedWorkloadModel(cpu_tail_index=1.3))
+        assert a != b
+
+    def test_json_round_trips(self):
+        for model in (DEFAULT_MODEL, HeavyTailedWorkloadModel(mem_min=0.01),
+                      TraceWorkloadModel("x.jsonl")):
+            data = workload_to_json(model)
+            assert workload_from_json(data) == model
+
+    def test_missing_workload_means_default(self):
+        # Pre-registry checkpoint records carry no workload entry.
+        assert workload_from_json(None) == DEFAULT_MODEL
+
+
+class TestRegister:
+    def test_reregistering_same_class_ok(self):
+        register_workload("google", GoogleWorkloadModel)
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload("google", HeavyTailedWorkloadModel)
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            register_workload("plain", object)
+
+    def test_custom_model_round_trips(self):
+        @dataclasses.dataclass(frozen=True)
+        class TinyModel:
+            scale: float = 1.0
+
+            def generate_services(self, n, rng=None):  # pragma: no cover
+                raise NotImplementedError
+
+        register_workload("tiny-test", TinyModel)
+        try:
+            m = parse_workload("tiny-test:scale=2.5")
+            assert m == TinyModel(scale=2.5)
+            assert workload_id(m) == "tiny-test:scale=2.5"
+            assert workload_from_json(workload_to_json(m)) == m
+        finally:
+            # keep the global registry clean for other tests
+            from repro.workloads import registry
+            registry._REGISTRY.pop("tiny-test", None)
+            registry.parse_workload.cache_clear()
