@@ -1,0 +1,268 @@
+"""Soak the allocation daemon: a few hundred arrivals/departures over HTTP.
+
+Spawns ``repro serve --port 0`` as a real subprocess, drives a random
+arrival/departure stream against it with explicit descriptor vectors
+(sampled locally, so the script can rebuild the final instance), then
+
+* fetches ``/metrics`` and writes the latency/probe summary to
+  ``benchmarks/output/SOAK_service.json`` (the nightly artifact),
+* **replays the exact event sequence offline** through an in-process
+  :class:`AllocationController` and fails unless the daemon's certified
+  yield is byte-identical — the HTTP daemon must be deterministically
+  equivalent to the library, and
+* re-solves the final live set with a cold :class:`MetaSolver`.  With
+  ``--cold-check strict`` (the default, used by the CI smoke job) a
+  mismatch fails the run.  At heavy saturation the META* feasibility
+  oracle is not perfectly monotone in the yield, so a warm chain can
+  legitimately *out-certify* a cold bisection (both placements are
+  feasible; the searches just stop at different fixed points of a
+  non-monotone oracle) — the long nightly soak therefore runs with
+  ``--cold-check report``, which records the comparison in the JSON
+  summary without failing.
+
+Usage::
+
+    python benchmarks/service_soak.py --events 300
+    python benchmarks/service_soak.py --events 60 --hosts 4 \
+        --output benchmarks/output/SOAK_service_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.algorithms import named_meta_solver  # noqa: E402
+from repro.service import (  # noqa: E402
+    AllocationController,
+    ClusterState,
+    ServiceError,
+)
+from repro.util.rng import as_generator  # noqa: E402
+from repro.workloads import generate_platform  # noqa: E402
+
+PORT_LINE = re.compile(r"repro serve: listening on http://([0-9.]+):(\d+)")
+
+
+def parse_args(argv=None):
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--events", type=int, default=300,
+                   help="total arrival/departure events (default 300)")
+    p.add_argument("--hosts", type=int, default=8)
+    p.add_argument("--cov", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=7,
+                   help="platform seed (daemon and local sampler agree)")
+    p.add_argument("--strategy", default="METAHVPLIGHT")
+    p.add_argument("--cpu-need-scale", type=float, default=0.1)
+    p.add_argument("--depart-prob", type=float, default=0.3,
+                   help="probability an event is a departure (default 0.3)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="forward an admission-control budget to the daemon")
+    p.add_argument("--cold-check", choices=("strict", "report"),
+                   default="strict",
+                   help="fail on warm/cold certified mismatch (strict) "
+                        "or just record it (report; for saturated soaks "
+                        "where the META* oracle is non-monotone)")
+    p.add_argument("--output",
+                   default=os.path.join(os.path.dirname(__file__),
+                                        "output", "SOAK_service.json"))
+    return p.parse_args(argv)
+
+
+def spawn_daemon(args) -> tuple[subprocess.Popen, str, int]:
+    cmd = [sys.executable, "-m", "repro.cli", "--seed", str(args.seed),
+           "serve", "--port", "0", "--hosts", str(args.hosts),
+           "--cov", str(args.cov), "--strategy", args.strategy,
+           "--cpu-need-scale", str(args.cpu_need_scale)]
+    if args.deadline_ms is not None:
+        cmd += ["--deadline-ms", str(args.deadline_ms)]
+    env = dict(os.environ)
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                            stderr=None, text=True)
+    deadline = time.monotonic() + 60
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line or proc.poll() is not None:
+            break
+    match = PORT_LINE.search(line)
+    if not match:
+        proc.kill()
+        raise SystemExit(f"daemon did not announce a port: {line!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def request(base: str, method: str, path: str, body: dict | None = None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    # A local sampler drawing from the same workload model the daemon
+    # uses; specs go over the wire as explicit vectors so this script
+    # can rebuild the daemon's final instance for offline verification.
+    sampler = AllocationController(
+        generate_platform(hosts=args.hosts, cov=args.cov, rng=args.seed),
+        strategy=args.strategy, cpu_need_scale=args.cpu_need_scale,
+        rng=args.seed + 1)
+    coin = as_generator(args.seed + 2)
+
+    proc, host, port = spawn_daemon(args)
+    base = f"http://{host}:{port}"
+    active: dict[str, object] = {}  # sid -> spec, daemon insertion order
+    events: list[tuple] = []  # ("admit", spec, status) | ("depart", sid)
+    admitted = rejected = departed = 0
+    t0 = time.monotonic()
+    try:
+        for _ in range(args.events):
+            if active and coin.random() < args.depart_prob:
+                sid = list(active)[int(coin.integers(len(active)))]
+                status, _ = request(base, "DELETE", f"/alloc/{sid}")
+                assert status == 200, (status, sid)
+                del active[sid]
+                departed += 1
+                events.append(("depart", sid))
+            else:
+                spec = sampler.sample_spec()
+                status, body = request(base, "POST", "/alloc", {
+                    "id": spec.sid,
+                    "req_elem": list(spec.req_elem),
+                    "req_agg": list(spec.req_agg),
+                    "need_elem": list(spec.need_elem),
+                    "need_agg": list(spec.need_agg)})
+                if status == 200:
+                    active[spec.sid] = spec
+                    admitted += 1
+                elif status == 409:
+                    rejected += 1
+                else:
+                    raise SystemExit(f"unexpected {status}: {body}")
+                events.append(("admit", spec, status))
+        wall_s = time.monotonic() - t0
+        _, metrics = request(base, "GET", "/metrics")
+        _, state = request(base, "GET", "/state")
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    verdict: dict = {"active": len(active)}
+    failures: list[str] = []
+
+    # 1. Daemon ≡ library: replay the exact event sequence through an
+    #    in-process controller; every outcome and the final certified
+    #    yield must be byte-identical.  (Skipped under a deadline —
+    #    degradation depends on wall-clock latency, which won't replay.)
+    if args.deadline_ms is None:
+        offline = AllocationController(
+            generate_platform(hosts=args.hosts, cov=args.cov,
+                              rng=args.seed),
+            strategy=args.strategy, cpu_need_scale=args.cpu_need_scale)
+        for event in events:
+            if event[0] == "depart":
+                offline.depart(event[1])
+            else:
+                _, spec, status = event
+                try:
+                    offline.admit(spec)
+                    outcome = 200
+                except ServiceError as err:
+                    outcome = err.status
+                if outcome != status:
+                    failures.append(
+                        f"replay diverged on {spec.sid}: daemon said "
+                        f"{status}, offline replay said {outcome}")
+                    break
+        replay_certified = offline.state.certified
+        verdict["replay_certified"] = replay_certified
+        verdict["replay_identical"] = (
+            json.dumps(state["certified_yield"])
+            == json.dumps(replay_certified))
+        if not failures and not verdict["replay_identical"]:
+            failures.append(
+                f"daemon certified {state['certified_yield']!r} but the "
+                f"offline replay certified {replay_certified!r}")
+
+    # 2. Warm vs cold: from-scratch solve of the final live set.
+    if active:
+        final = ClusterState(sampler.state.nodes)
+        for spec in active.values():
+            final.add(spec)
+        stats: dict = {}
+        named_meta_solver(state["strategy"]).solve_with_hint(
+            final.build_instance(), stats=stats)
+        verdict.update(
+            daemon_certified=state["certified_yield"],
+            cold_certified=stats["certified"],
+            cold_identical=(json.dumps(state["certified_yield"])
+                            == json.dumps(stats["certified"])))
+        if (args.cold_check == "strict" and args.deadline_ms is None
+                and not verdict["cold_identical"]):
+            failures.append(
+                f"warm chain certified {state['certified_yield']!r}, "
+                f"cold solve certified {stats['certified']!r} "
+                "(rerun with --cold-check report if this soak "
+                "saturates the platform)")
+
+    summary = {
+        "events": args.events,
+        "wall_s": wall_s,
+        "events_per_s": args.events / wall_s if wall_s else None,
+        "admitted": admitted, "rejected": rejected, "departed": departed,
+        "final_state": verdict,
+        "metrics": metrics,
+    }
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w") as fh:
+        json.dump(summary, fh, indent=2)
+
+    lat = metrics["solve_latency_ms"]
+    solver = metrics["solver"]
+    print(f"soak: {args.events} events in {wall_s:.1f}s "
+          f"({admitted} admitted, {rejected} rejected, "
+          f"{departed} departed, {len(active)} active)")
+    print(f"soak: solves full={solver['full_solves']} "
+          f"warm={solver['warm_solves']} "
+          f"degraded={solver['degraded_solves']} "
+          f"probes={solver['total_probes']}")
+    if lat.get("count"):
+        print(f"soak: solve latency ms p50={lat['p50']:.2f} "
+              f"p90={lat['p90']:.2f} p99={lat['p99']:.2f} "
+              f"max={lat['max']:.2f}")
+    print(f"soak: wrote {args.output}")
+    if "replay_identical" in verdict:
+        print(f"soak: offline replay byte-identical="
+              f"{verdict['replay_identical']}")
+    if "cold_identical" in verdict:
+        print(f"soak: final certified yield daemon="
+              f"{verdict['daemon_certified']!r} "
+              f"cold={verdict['cold_certified']!r} "
+              f"identical={verdict['cold_identical']}")
+    for failure in failures:
+        print(f"soak: FAIL — {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

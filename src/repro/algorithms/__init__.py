@@ -12,12 +12,15 @@ from .greedy import (
 from .random_placement import random_placement
 from .rounding import rrnd, rrnz
 from .vector_packing import (
+    META_STRATEGY_FAMILIES,
+    MetaSolver,
     VPStrategy,
     hvp_light_strategies,
     hvp_strategies,
     metahvp,
     metahvp_light,
     metavp,
+    named_meta_solver,
     single_strategy_algorithm,
     vp_strategies,
 )
@@ -25,6 +28,8 @@ from .yield_search import DEFAULT_TOLERANCE, binary_search_max_yield
 
 __all__ = [
     "DEFAULT_TOLERANCE",
+    "META_STRATEGY_FAMILIES",
+    "MetaSolver",
     "NODE_PICKERS",
     "NamedAlgorithm",
     "PlacementAlgorithm",
@@ -40,6 +45,7 @@ __all__ = [
     "metahvp_light",
     "metavp",
     "milp_exact",
+    "named_meta_solver",
     "random_placement",
     "rrnd",
     "rrnz",

@@ -3,12 +3,14 @@
 from .best_fit import best_fit
 from .first_fit import first_fit
 from .meta import (
+    META_STRATEGY_FAMILIES,
     MetaSolver,
     meta_algorithm,
     meta_packer,
     metahvp,
     metahvp_light,
     metavp,
+    named_meta_solver,
     single_strategy_algorithm,
     strategy_packer,
 )
@@ -35,6 +37,7 @@ __all__ = [
     "BF",
     "CP",
     "FF",
+    "META_STRATEGY_FAMILIES",
     "FastProbeContext",
     "MetaProbeEngine",
     "MetaSolver",
@@ -56,6 +59,7 @@ __all__ = [
     "metahvp_light",
     "metavp",
     "metric_values",
+    "named_meta_solver",
     "order_indices",
     "permutation_pack",
     "rank_from_order",

@@ -38,8 +38,10 @@ from .strategies import (
 
 __all__ = [
     "DEFAULT_ENGINE",
+    "META_STRATEGY_FAMILIES",
     "MetaSolver",
     "meta_packer",
+    "named_meta_solver",
     "strategy_packer",
     "meta_algorithm",
     "single_strategy_algorithm",
@@ -138,6 +140,36 @@ def single_strategy_algorithm(strategy: VPStrategy,
     per-strategy ranking exploration)."""
     return meta_algorithm(strategy.name, (strategy,),
                           tolerance=tolerance, improve=improve, engine=engine)
+
+
+#: The META* families addressable by name: strategy-list factories for
+#: the runtime-switchable solvers (the service layer's ``/strategy``
+#: endpoint and anything else that picks a solver from a config string).
+META_STRATEGY_FAMILIES = {
+    "METAVP": vp_strategies,
+    "METAHVP": hvp_strategies,
+    "METAHVPLIGHT": hvp_light_strategies,
+}
+
+
+def named_meta_solver(name: str,
+                      tolerance: float = DEFAULT_TOLERANCE,
+                      improve: bool = True,
+                      engine: str = DEFAULT_ENGINE) -> MetaSolver:
+    """A warm-startable :class:`MetaSolver` for a META* family by name.
+
+    Unlike :func:`meta_algorithm` this returns the bare solver (with
+    ``solve_with_hint``), which is what long-lived callers that chain
+    hints across solves — the online allocation service — hold on to.
+    """
+    try:
+        strategies = META_STRATEGY_FAMILIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown META solver {name!r}; choose from "
+            f"{sorted(META_STRATEGY_FAMILIES)}") from None
+    return MetaSolver(strategies, tolerance=tolerance, improve=improve,
+                      engine=engine)
 
 
 def metavp(tolerance: float = DEFAULT_TOLERANCE, window: int | None = None,

@@ -38,6 +38,13 @@ table/figure, byte-identical to an unsharded run::
     machine-a$ repro shard --index 0 --of 2 -- --checkpoint s0.jsonl table1 --paper
     machine-b$ repro shard --index 1 --of 2 -- --checkpoint s1.jsonl table1 --paper
     anywhere$  repro merge --from s0.jsonl --from s1.jsonl table1 --paper
+
+``repro serve`` runs the online allocation daemon instead of a batch
+experiment: arrivals and departures over HTTP, each triggering a
+warm-started incremental re-solve (``--port 0`` binds an ephemeral port
+and prints it on stdout; see the README's "Serving allocations")::
+
+    repro serve --port 0 --strategy METAHVPLIGHT --deadline-ms 250
 """
 
 from __future__ import annotations
@@ -166,6 +173,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     al = sub.add_parser("all", help="run every experiment at quick scale")
     al.add_argument("--paper", action="store_true")
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the online allocation daemon (POST /alloc, "
+             "DELETE /alloc/{id}, GET /state, GET|POST /strategy, "
+             "GET /healthz, GET /metrics)")
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=8080,
+                    help="TCP port; 0 binds an ephemeral port and the "
+                         "actual port is printed on stdout")
+    sv.add_argument("--strategy", default="METAHVPLIGHT",
+                    help="initial solver strategy (switchable at runtime "
+                         "via POST /strategy)")
+    sv.add_argument("--deadline-ms", type=float, default=None,
+                    help="solve-latency budget: once the full solve's "
+                         "latency estimate exceeds it, admissions degrade "
+                         "to a single bounded-time greedy probe "
+                         "(default: never degrade)")
+    sv.add_argument("--hosts", type=int, default=16,
+                    help="platform size (default 16)")
+    sv.add_argument("--cov", type=float, default=0.5,
+                    help="platform heterogeneity CoV (default 0.5)")
+    sv.add_argument("--cpu-need-scale", type=float, default=0.05,
+                    help="core-units -> capacity-units scale for sampled "
+                         "services (default 0.05, as in 'repro dynamic')")
 
     sh = sub.add_parser(
         "shard",
@@ -439,7 +472,7 @@ def _apply_global_options(args: argparse.Namespace,
     — the top-level one or the inner argv of a shard/merge call."""
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint")
-    if args.command in _SPEC_BUILDERS or args.command == "all":
+    if args.command in _SPEC_BUILDERS or args.command in ("all", "serve"):
         try:
             parse_workload(args.workload)  # validate NAME[:k=v,...] early
         except (KeyError, ValueError) as exc:
@@ -550,6 +583,25 @@ def _cmd_dynamic(args) -> None:
                     f"threshold {args.threshold}"))
 
 
+def _cmd_serve(args) -> None:
+    from .service import AllocationController, ServiceError, create_server
+    from .service import run_server
+    from .workloads import generate_platform
+    nodes = generate_platform(hosts=args.hosts, cov=args.cov, rng=args.seed)
+    try:
+        controller = AllocationController(
+            nodes, strategy=args.strategy,
+            workload=parse_workload(args.workload),
+            deadline_ms=args.deadline_ms,
+            cpu_need_scale=args.cpu_need_scale,
+            rng=args.seed + 1)
+    except ServiceError as exc:
+        raise SystemExit(f"repro serve: {exc.payload['error']} "
+                         f"(available: "
+                         f"{', '.join(exc.payload.get('available', []))})")
+    run_server(create_server(controller, args.host, args.port))
+
+
 _COMMANDS = {
     "table1": _run_spec,
     "table2": _run_spec,
@@ -559,6 +611,7 @@ _COMMANDS = {
     "dynamic": _cmd_dynamic,
     "all": _cmd_all,
     "compact": _cmd_compact,
+    "serve": _cmd_serve,
 }
 
 

@@ -2,13 +2,23 @@
 arrivals/departures, periodic re-allocation, migrations, runtime sharing."""
 
 from .events import ServiceEvent, WorkloadTrace, generate_trace
+from .incremental import (
+    INCREMENTAL_TOL,
+    best_fit_newcomers,
+    elem_fit_table,
+    rebuild_loads,
+)
 from .simulator import DynamicSimulator, SimulationResult, StepRecord
 
 __all__ = [
     "DynamicSimulator",
+    "INCREMENTAL_TOL",
     "ServiceEvent",
     "SimulationResult",
     "StepRecord",
     "WorkloadTrace",
+    "best_fit_newcomers",
+    "elem_fit_table",
     "generate_trace",
+    "rebuild_loads",
 ]

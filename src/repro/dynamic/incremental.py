@@ -1,0 +1,73 @@
+"""Shared incremental placement-state mutation helpers.
+
+Both consumers of live placement state — the :class:`DynamicSimulator`
+(discrete-time simulation) and the online allocation service
+(:mod:`repro.service`) — maintain the same three pieces of state between
+solver invocations: a per-descriptor node assignment, the aggregate
+*requirement* loads those assignments put on each node, and the static
+"requirement fits one element" feasibility table.  This module owns the
+mutation logic so the two layers cannot drift: departures subtract their
+demand, newcomers go through the kernel backend's best-fit
+(:meth:`~repro.kernels.api.KernelBackend.incremental_best_fit`), and a
+full re-solve rebuilds everything from the assignment array.
+
+Newcomers are admitted at yield 0 — only the rigid requirements count
+for feasibility; the fluid needs then share whatever headroom the
+placement left (the per-node closed-form max-min of
+:func:`repro.core.allocation.max_min_yield_on_node`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.node import NodeArray
+from ..kernels import get_backend
+
+__all__ = ["INCREMENTAL_TOL", "elem_fit_table", "rebuild_loads",
+           "best_fit_newcomers"]
+
+#: Fit slack of the incremental (non-epoch) best-fit placements.
+INCREMENTAL_TOL = 1e-12
+
+
+def elem_fit_table(req_elem: np.ndarray, nodes: NodeArray) -> np.ndarray:
+    """``(N, H)`` static "requirement fits one element" table.
+
+    Row *i* marks the nodes whose elementary capacity covers descriptor
+    *i*'s rigid elementary requirements in every dimension — the yield-0
+    admission precondition.
+    """
+    return (req_elem[:, None, :]
+            <= (nodes.elementary + INCREMENTAL_TOL)[None, :, :]).all(axis=2)
+
+
+def rebuild_loads(assigned: np.ndarray, req_agg: np.ndarray,
+                  nodes: NodeArray) -> np.ndarray:
+    """``(H, D)`` aggregate requirement loads implied by *assigned*.
+
+    *assigned* maps each descriptor to a node index (−1 = not placed);
+    *req_agg* is the matching ``(N, D)`` aggregate-requirement array.
+    """
+    loads = np.zeros_like(nodes.aggregate)
+    placed = np.flatnonzero(assigned >= 0)
+    if placed.size:
+        np.add.at(loads, assigned[placed], req_agg[placed])
+    return loads
+
+
+def best_fit_newcomers(req_agg: np.ndarray, elem_fit: np.ndarray,
+                       loads: np.ndarray, nodes: NodeArray,
+                       cap_tol: np.ndarray | None = None) -> np.ndarray:
+    """Place newcomers one by one via the kernel backend's best-fit.
+
+    *req_agg* and *elem_fit* carry only the newcomers' rows; *loads* is
+    the live ``(H, D)`` requirement-load array and is **updated in
+    place** for every descriptor that fits.  Returns the chosen node per
+    newcomer (−1 = nothing fits; the caller decides whether that means
+    "pending" or "rejected").
+    """
+    if cap_tol is None:
+        cap_tol = nodes.aggregate + INCREMENTAL_TOL
+    return get_backend().incremental_best_fit(
+        req_agg, elem_fit, loads, nodes.aggregate, cap_tol)

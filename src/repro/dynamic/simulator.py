@@ -33,19 +33,21 @@ from ..algorithms.base import NamedAlgorithm
 from ..core.instance import ProblemInstance
 from ..core.node import NodeArray
 from ..core.service import ServiceArray
-from ..kernels import get_backend
 from ..sharing.adaptive import AdaptiveThreshold
 from ..sharing.baseline import evaluate_actual_yields
 from ..sharing.errors import apply_minimum_threshold, perturb_cpu_needs
 from ..util.rng import as_generator
 from .events import WorkloadTrace
+from .incremental import (
+    INCREMENTAL_TOL as _INCREMENTAL_TOL,
+    best_fit_newcomers,
+    elem_fit_table,
+    rebuild_loads,
+)
 
 __all__ = ["DynamicSimulator", "SimulationResult", "StepRecord"]
 
 CPU = 0
-
-#: Fit slack of the incremental (non-epoch) best-fit placements.
-_INCREMENTAL_TOL = 1e-12
 
 
 @dataclass(frozen=True)
@@ -200,20 +202,14 @@ class DynamicSimulator:
         """``(N, H)`` static "requirement fits one element" table for the
         current estimates (newcomers are admitted at yield 0)."""
         if self._elem_fit is None:
-            self._elem_fit = (
-                self._estimates.req_elem[:, None, :]
-                <= (self.nodes.elementary + _INCREMENTAL_TOL)[None, :, :]
-            ).all(axis=2)
+            self._elem_fit = elem_fit_table(self._estimates.req_elem,
+                                            self.nodes)
         return self._elem_fit
 
     def _rebuild_loads(self) -> np.ndarray:
         """Node loads re-derived from the assignment array."""
-        loads = np.zeros_like(self.nodes.aggregate)
-        placed = np.flatnonzero(self._assigned >= 0)
-        if placed.size:
-            np.add.at(loads, self._assigned[placed],
-                      self._estimates.req_agg[placed])
-        return loads
+        return rebuild_loads(self._assigned, self._estimates.req_agg,
+                             self.nodes)
 
     def _solve(self, instance: ProblemInstance):
         """Run the placer, warm-started when it supports hints.
@@ -288,10 +284,10 @@ class DynamicSimulator:
             self._assigned[departed] = -1
         newcomers = active[self._assigned[active] < 0]
         if newcomers.size:
-            chosen = get_backend().incremental_best_fit(
+            chosen = best_fit_newcomers(
                 est.req_agg[newcomers],
                 self._elem_fit_table()[newcomers],
-                self._loads, self.nodes.aggregate, self._agg_cap_tol)
+                self._loads, self.nodes, cap_tol=self._agg_cap_tol)
             placed = chosen >= 0
             self._assigned[newcomers[placed]] = chosen[placed]
 

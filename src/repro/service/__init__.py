@@ -1,0 +1,25 @@
+"""Allocation-as-a-service: the online placement daemon.
+
+``repro serve`` wraps the META* solvers and the incremental placement
+machinery in a long-running, stdlib-only HTTP daemon: services arrive
+(``POST /alloc``) and depart (``DELETE /alloc/{id}``), each mutation
+triggers a warm-started incremental re-solve of the live set, and an
+admission-control path degrades to a bounded-time greedy probe when the
+solve-latency budget is exceeded.  See :mod:`.controller` for the
+solving semantics and :mod:`.http` for the endpoint surface.
+"""
+
+from .controller import PROBATION_PERIOD, AllocationController, ServiceError
+from .http import AllocationHTTPServer, create_server, run_server
+from .state import ClusterState, ServiceSpec
+
+__all__ = [
+    "AllocationController",
+    "AllocationHTTPServer",
+    "ClusterState",
+    "PROBATION_PERIOD",
+    "ServiceError",
+    "ServiceSpec",
+    "create_server",
+    "run_server",
+]

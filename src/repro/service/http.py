@@ -1,0 +1,214 @@
+"""Stdlib HTTP front end of the allocation service.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, no new
+dependencies) routing to an :class:`AllocationController`.  The HTTP
+layer is deliberately thin: parse JSON, call the controller, serialize
+the answer — all placement logic and locking lives in the controller.
+
+Endpoints::
+
+    POST   /alloc        admit a service (explicit vectors or sampled)
+    DELETE /alloc/{id}   departure + incremental re-solve
+    GET    /state        placement, per-node loads, yields
+    GET    /strategy     current solver strategy
+    POST   /strategy     switch the solver strategy at runtime
+    GET    /healthz      liveness
+    GET    /metrics      request counts, solve latency percentiles,
+                         probe counts (plain JSON)
+
+Binding to port 0 picks an ephemeral port; :func:`run_server` prints the
+actual bound address on stdout before serving (CI and parallel local
+runs parse it).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..workloads.registry import workload_id
+from .controller import AllocationController, ServiceError
+from .state import ServiceSpec
+
+__all__ = ["AllocationHTTPServer", "create_server", "run_server"]
+
+#: Cap request bodies well above any honest descriptor payload.
+MAX_BODY_BYTES = 1 << 20
+
+
+class AllocationHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the controller."""
+
+    daemon_threads = True
+
+    def __init__(self, address, controller: AllocationController):
+        super().__init__(address, _Handler)
+        self.controller = controller
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/0.2"
+    protocol_version = "HTTP/1.1"  # keep-alive; every reply sets a length
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def controller(self) -> AllocationController:
+        return self.server.controller
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(413, "request body too large")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise ServiceError(400, "JSON body must be an object")
+        return body
+
+    def _route(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            handler = _ROUTES.get((method, path))
+            if handler is not None:
+                return handler(self)
+            if method == "DELETE" and path.startswith("/alloc/"):
+                return self._delete_alloc(path[len("/alloc/"):])
+            raise ServiceError(404, f"no route for {method} {path}")
+        except ServiceError as exc:
+            self._reply(exc.status, exc.payload)
+        except Exception as exc:  # never kill the connection thread
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+    def log_message(self, format: str, *args) -> None:
+        # Default stderr logging, minus the per-request noise of the
+        # health/metrics pollers CI loops run.
+        if "/healthz" not in self.path:
+            super().log_message(format, *args)
+
+    # -- endpoints -----------------------------------------------------
+    def _get_healthz(self) -> None:
+        ctl = self.controller
+        ctl.count_request("healthz")
+        self._reply(200, ctl.healthz())
+
+    def _get_metrics(self) -> None:
+        ctl = self.controller
+        ctl.count_request("metrics")
+        self._reply(200, ctl.metrics())
+
+    def _get_state(self) -> None:
+        ctl = self.controller
+        ctl.count_request("state")
+        self._reply(200, ctl.snapshot())
+
+    def _get_strategy(self) -> None:
+        ctl = self.controller
+        ctl.count_request("strategy")
+        self._reply(200, {"strategy": ctl.strategy,
+                          "available": list(ctl.available_strategies())})
+
+    def _post_strategy(self) -> None:
+        ctl = self.controller
+        ctl.count_request("strategy")
+        body = self._read_json()
+        name = body.get("strategy")
+        if not isinstance(name, str):
+            raise ServiceError(400, "body must carry a 'strategy' string")
+        ctl.set_strategy(name)
+        self._reply(200, {"strategy": ctl.strategy,
+                          "available": list(ctl.available_strategies())})
+
+    def _post_alloc(self) -> None:
+        ctl = self.controller
+        ctl.count_request("alloc")
+        body = self._read_json()
+        sid = body.get("id")
+        if sid is not None and not isinstance(sid, str):
+            raise ServiceError(400, "'id' must be a string")
+        if body.get("sample"):
+            spec = ctl.sample_spec(sid)
+        else:
+            missing = [k for k in ("req_elem", "req_agg",
+                                   "need_elem", "need_agg")
+                       if k not in body]
+            if missing:
+                raise ServiceError(
+                    400, f"missing descriptor vectors {missing} "
+                         "(or pass \"sample\": true)")
+            try:
+                spec = ServiceSpec.from_vectors(
+                    sid or ctl.next_service_id(),
+                    body["req_elem"], body["req_agg"],
+                    body["need_elem"], body["need_agg"],
+                    dims=ctl.state.nodes.dims)
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(400, str(exc)) from None
+        self._reply(200, ctl.admit(spec))
+
+    def _delete_alloc(self, sid: str) -> None:
+        ctl = self.controller
+        ctl.count_request("delete")
+        if not sid:
+            raise ServiceError(400, "DELETE /alloc/{id} needs a service id")
+        self._reply(200, ctl.depart(sid))
+
+
+_ROUTES = {
+    ("GET", "/healthz"): _Handler._get_healthz,
+    ("GET", "/metrics"): _Handler._get_metrics,
+    ("GET", "/state"): _Handler._get_state,
+    ("GET", "/strategy"): _Handler._get_strategy,
+    ("POST", "/strategy"): _Handler._post_strategy,
+    ("POST", "/alloc"): _Handler._post_alloc,
+}
+
+
+def create_server(controller: AllocationController,
+                  host: str = "127.0.0.1",
+                  port: int = 0) -> AllocationHTTPServer:
+    """Bind (port 0 = ephemeral) without starting the serve loop.
+
+    The actual bound port is ``server.server_address[1]``.
+    """
+    return AllocationHTTPServer((host, port), controller)
+
+
+def run_server(server: AllocationHTTPServer) -> None:
+    """Print the bound address on stdout, then serve until interrupted.
+
+    The stdout line is machine-parseable on purpose — ``--port 0`` runs
+    (CI smoke, parallel local daemons) grep the port out of it.
+    """
+    host, port = server.server_address[:2]
+    ctl = server.controller
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(strategy {ctl.strategy}, {len(ctl.state.nodes)} hosts, "
+          f"workload {workload_id(ctl.workload)})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,181 @@
+"""Live cluster state of the allocation service.
+
+The daemon's single source of truth: the platform, the admitted services
+(in arrival order, so the instance handed to the solver is reproducible
+offline), the incumbent placement and the per-service yields.  The
+controller mutates it only under its solver lock; the HTTP layer reads
+snapshots.
+
+Byte-identical replay is a design requirement (the CI smoke job solves
+the daemon's final instance offline and compares certified yields), so
+:meth:`ClusterState.build_instance` must construct *exactly* the
+``ProblemInstance`` an offline caller would build from the same
+descriptor rows in the same order — no reordering, no rescaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core.allocation import Allocation, node_loads
+from ..core.instance import ProblemInstance
+from ..core.node import NodeArray
+from ..core.service import ServiceArray
+
+__all__ = ["ServiceSpec", "ClusterState"]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One admitted service: id plus the four ``(D,)`` descriptor vectors."""
+
+    sid: str
+    req_elem: np.ndarray
+    req_agg: np.ndarray
+    need_elem: np.ndarray
+    need_agg: np.ndarray
+
+    @classmethod
+    def from_vectors(cls, sid: str,
+                     req_elem: Sequence[float], req_agg: Sequence[float],
+                     need_elem: Sequence[float], need_agg: Sequence[float],
+                     dims: int) -> "ServiceSpec":
+        """Validate and freeze client-supplied descriptor vectors."""
+        arrays = []
+        for name, vec in (("req_elem", req_elem), ("req_agg", req_agg),
+                          ("need_elem", need_elem), ("need_agg", need_agg)):
+            arr = np.asarray(vec, dtype=np.float64)
+            if arr.shape != (dims,):
+                raise ValueError(
+                    f"{name} must be a length-{dims} vector, got "
+                    f"shape {arr.shape}")
+            if not np.isfinite(arr).all() or (arr < 0).any():
+                raise ValueError(f"{name} has negative or non-finite entries")
+            arr = arr.copy()
+            arr.setflags(write=False)
+            arrays.append(arr)
+        return cls(sid, *arrays)
+
+    @classmethod
+    def from_row(cls, sid: str, services: ServiceArray, j: int
+                 ) -> "ServiceSpec":
+        """Spec for row *j* of a generated :class:`ServiceArray`."""
+        return cls(sid, services.req_elem[j], services.req_agg[j],
+                   services.need_elem[j], services.need_agg[j])
+
+    def as_json(self) -> dict:
+        return {"id": self.sid,
+                "req_elem": self.req_elem.tolist(),
+                "req_agg": self.req_agg.tolist(),
+                "need_elem": self.need_elem.tolist(),
+                "need_agg": self.need_agg.tolist()}
+
+
+class ClusterState:
+    """Admitted services + incumbent placement over a fixed platform."""
+
+    def __init__(self, nodes: NodeArray):
+        self.nodes = nodes
+        self._services: dict[str, ServiceSpec] = {}  # insertion-ordered
+        #: Incumbent placement/yields, keyed by service id.  Both empty
+        #: exactly when no services are admitted.
+        self.placement: dict[str, int] = {}
+        self.yields: dict[str, float] = {}
+        #: The last full search's certified uniform yield (its feasible
+        #: lower bound, the natural hint for the next solve); ``None``
+        #: when the incumbent came from a degraded greedy placement.
+        self.certified: float | None = None
+
+    # -- membership ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __contains__(self, sid: str) -> bool:
+        return sid in self._services
+
+    def ids(self) -> tuple[str, ...]:
+        return tuple(self._services)
+
+    def specs(self) -> Iterator[ServiceSpec]:
+        return iter(self._services.values())
+
+    def add(self, spec: ServiceSpec) -> None:
+        if spec.sid in self._services:
+            raise KeyError(f"service id {spec.sid!r} already admitted")
+        if spec.req_elem.shape[0] != self.nodes.dims:
+            raise ValueError(
+                f"service has {spec.req_elem.shape[0]} dimensions, "
+                f"platform has {self.nodes.dims}")
+        self._services[spec.sid] = spec
+
+    def remove(self, sid: str) -> ServiceSpec:
+        spec = self._services.pop(sid)  # KeyError -> 404 upstream
+        self.placement.pop(sid, None)
+        self.yields.pop(sid, None)
+        if not self._services:
+            self.certified = None
+        return spec
+
+    # -- solver round trips --------------------------------------------
+    def build_instance(self) -> ProblemInstance | None:
+        """The live set as a solver instance; ``None`` when empty."""
+        if not self._services:
+            return None
+        specs = list(self._services.values())
+        services = ServiceArray.from_arrays(
+            np.stack([s.req_elem for s in specs]),
+            np.stack([s.req_agg for s in specs]),
+            np.stack([s.need_elem for s in specs]),
+            np.stack([s.need_agg for s in specs]),
+            names=[s.sid for s in specs])
+        return ProblemInstance(self.nodes, services)
+
+    def apply_allocation(self, alloc: Allocation,
+                         certified: float | None) -> None:
+        """Adopt *alloc* (over :meth:`build_instance`'s row order) as the
+        incumbent."""
+        ids = self.ids()
+        assert len(ids) == alloc.placement.shape[0]
+        self.placement = {sid: int(h) for sid, h in zip(ids, alloc.placement)}
+        self.yields = {sid: float(y) for sid, y in zip(ids, alloc.yields)}
+        self.certified = certified
+
+    def assignment_array(self) -> np.ndarray:
+        """``(J,)`` node index per live service in instance row order
+        (−1 = not in the incumbent placement)."""
+        return np.array([self.placement.get(sid, -1) for sid in self.ids()],
+                        dtype=np.int64)
+
+    # -- read-side views -----------------------------------------------
+    def minimum_yield(self) -> float | None:
+        if not self.yields:
+            return None
+        return min(self.yields.values())
+
+    def snapshot(self) -> dict:
+        """JSON-able view for ``GET /state``."""
+        instance = self.build_instance()
+        if instance is None:
+            loads = np.zeros_like(self.nodes.aggregate)
+        else:
+            yields = np.array([self.yields.get(sid, 0.0)
+                               for sid in self.ids()])
+            loads = node_loads(instance, self.assignment_array(), yields)
+        services: Mapping[str, dict] = {
+            sid: {"node": self.placement.get(sid),
+                  "yield": self.yields.get(sid)}
+            for sid in self.ids()}
+        return {
+            "hosts": len(self.nodes),
+            "dims": self.nodes.dims,
+            "active": len(self._services),
+            "services": services,
+            "node_names": list(self.nodes.names),
+            "node_loads": [row.tolist() for row in loads],
+            "node_capacity": [row.tolist() for row in self.nodes.aggregate],
+            "minimum_yield": self.minimum_yield(),
+            "certified_yield": self.certified,
+        }

@@ -1,0 +1,30 @@
+"""Shared fixtures for the allocation-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AllocationController
+from repro.workloads import generate_platform
+
+
+def make_controller(hosts: int = 4, cov: float = 0.5, seed: int = 7,
+                    rng: int = 11, **kwargs) -> AllocationController:
+    kwargs.setdefault("strategy", "METAHVPLIGHT")
+    kwargs.setdefault("cpu_need_scale", 0.1)
+    return AllocationController(
+        generate_platform(hosts=hosts, cov=cov, rng=seed), rng=rng, **kwargs)
+
+
+@pytest.fixture
+def controller() -> AllocationController:
+    return make_controller()
+
+
+def scripted_specs(n: int, hosts: int = 4, cov: float = 0.5, seed: int = 7,
+                   rng: int = 11, cpu_need_scale: float = 0.1):
+    """A deterministic list of service specs (sampled once, replayable
+    into any number of controllers)."""
+    source = make_controller(hosts=hosts, cov=cov, seed=seed, rng=rng,
+                             cpu_need_scale=cpu_need_scale)
+    return [source.sample_spec() for _ in range(n)]

@@ -1,0 +1,175 @@
+"""HTTP endpoint round trips against an in-process server on port 0."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import create_server
+
+from .conftest import make_controller
+
+
+@pytest.fixture
+def server():
+    srv = create_server(make_controller(hosts=8), port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+def call(srv, method: str, path: str, body: dict | None = None,
+         raw: bytes | None = None):
+    """One request; returns (status, decoded JSON payload)."""
+    host, port = srv.server_address[:2]
+    data = raw if raw is not None else (
+        json.dumps(body).encode() if body is not None else None)
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestEndpoints:
+    def test_port_zero_binds_an_ephemeral_port(self, server):
+        assert server.server_address[1] > 0
+
+    def test_healthz(self, server):
+        status, body = call(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["active"] == 0
+
+    def test_alloc_delete_round_trip(self, server):
+        status, admitted = call(server, "POST", "/alloc", {"sample": True})
+        assert status == 200
+        assert admitted["active"] == 1
+        assert admitted["node"] >= 0
+        assert 0.0 < admitted["yield"] <= 1.0
+        assert admitted["certified_yield"] is not None
+
+        status, state = call(server, "GET", "/state")
+        assert status == 200
+        assert state["services"][admitted["id"]]["node"] == admitted["node"]
+
+        status, gone = call(server, "DELETE", f"/alloc/{admitted['id']}")
+        assert status == 200
+        assert gone["active"] == 0
+
+    def test_alloc_with_explicit_vectors_and_id(self, server):
+        # req_elem must fit a node's *elementary* capacity (~0.06-0.2
+        # CPU on the seed-7 platforms), not just the aggregate.
+        spec = {"id": "web-1",
+                "req_elem": [0.05, 0.1], "req_agg": [0.05, 0.1],
+                "need_elem": [0.3, 0.0], "need_agg": [0.3, 0.0]}
+        status, body = call(server, "POST", "/alloc", spec)
+        assert status == 200
+        assert body["id"] == "web-1"
+        # Same id again → conflict, state unchanged.
+        status, body = call(server, "POST", "/alloc", spec)
+        assert status == 409
+        _, state = call(server, "GET", "/state")
+        assert state["active"] == 1
+
+    def test_strategy_get_and_switch(self, server):
+        status, body = call(server, "GET", "/strategy")
+        assert status == 200
+        assert body["strategy"] == "METAHVPLIGHT"
+        assert "METAVP" in body["available"]
+
+        status, body = call(server, "POST", "/strategy",
+                            {"strategy": "METAVP"})
+        assert status == 200
+        assert body["strategy"] == "METAVP"
+
+        status, body = call(server, "POST", "/strategy",
+                            {"strategy": "NOPE"})
+        assert status == 400
+        _, body = call(server, "GET", "/strategy")
+        assert body["strategy"] == "METAVP"
+
+    def test_metrics_shape(self, server):
+        call(server, "POST", "/alloc", {"sample": True})
+        status, m = call(server, "GET", "/metrics")
+        assert status == 200
+        assert m["admission"]["admitted"] == 1
+        assert m["solver"]["full_solves"] == 1
+        assert m["solver"]["total_probes"] > 0
+        assert m["solve_latency_ms"]["count"] == 1
+        assert m["requests"]["alloc"] == 1
+
+
+class TestErrors:
+    def test_unknown_route_404(self, server):
+        status, body = call(server, "GET", "/nope")
+        assert status == 404
+        assert "error" in body
+
+    def test_delete_unknown_service_404(self, server):
+        status, body = call(server, "DELETE", "/alloc/ghost")
+        assert status == 404
+        assert body["id"] == "ghost"
+
+    def test_malformed_json_400(self, server):
+        status, body = call(server, "POST", "/alloc", raw=b"{not json")
+        assert status == 400
+        assert "invalid JSON" in body["error"]
+
+    def test_missing_vectors_400(self, server):
+        status, body = call(server, "POST", "/alloc", {"req_elem": [1, 1]})
+        assert status == 400
+        assert "req_agg" in body["error"]
+
+    def test_non_object_body_400(self, server):
+        status, body = call(server, "POST", "/alloc", raw=b"[1, 2]")
+        assert status == 400
+
+    def test_bad_vector_shape_400(self, server):
+        status, body = call(server, "POST", "/alloc",
+                            {"req_elem": [0.1], "req_agg": [0.1],
+                             "need_elem": [0.1], "need_agg": [0.1]})
+        assert status == 400
+
+    def test_infeasible_service_409(self, server):
+        status, body = call(server, "POST", "/alloc",
+                            {"req_elem": [99, 99], "req_agg": [99, 99],
+                             "need_elem": [0, 0], "need_agg": [0, 0]})
+        assert status == 409
+        assert "reason" in body
+        _, state = call(server, "GET", "/state")
+        assert state["active"] == 0
+
+
+class TestConcurrency:
+    def test_concurrent_requests_are_serialized(self, server):
+        """24 parallel sampled arrivals: every one lands, the solver
+        lock keeps the solve loop strictly serial, and the final state
+        is internally consistent."""
+        def one(_):
+            return call(server, "POST", "/alloc", {"sample": True})
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(one, range(24)))
+
+        assert [status for status, _ in results] == [200] * 24
+        ids = {body["id"] for _, body in results}
+        assert len(ids) == 24  # no duplicate ids under contention
+
+        _, m = call(server, "GET", "/metrics")
+        assert m["solver"]["max_concurrent_solves"] == 1
+        assert m["admission"]["admitted"] == 24
+        _, state = call(server, "GET", "/state")
+        assert state["active"] == 24
+        assert set(state["services"]) == ids
