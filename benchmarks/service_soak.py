@@ -73,6 +73,10 @@ def parse_args(argv=None):
                    help="fail on warm/cold certified mismatch (strict) "
                         "or just record it (report; for saturated soaks "
                         "where the META* oracle is non-monotone)")
+    p.add_argument("--obs-log", default=None, metavar="FILE",
+                   help="trace the daemon's solves into a JSONL file "
+                        "(forwarded as the repro --obs-log global flag; "
+                        "inspect with 'repro obs report FILE')")
     p.add_argument("--output",
                    default=os.path.join(os.path.dirname(__file__),
                                         "output", "SOAK_service.json"))
@@ -80,8 +84,10 @@ def parse_args(argv=None):
 
 
 def spawn_daemon(args) -> tuple[subprocess.Popen, str, int]:
-    cmd = [sys.executable, "-m", "repro.cli", "--seed", str(args.seed),
-           "serve", "--port", "0", "--hosts", str(args.hosts),
+    cmd = [sys.executable, "-m", "repro.cli", "--seed", str(args.seed)]
+    if args.obs_log is not None:
+        cmd += ["--obs-log", args.obs_log]
+    cmd += ["serve", "--port", "0", "--hosts", str(args.hosts),
            "--cov", str(args.cov), "--strategy", args.strategy,
            "--cpu-need-scale", str(args.cpu_need_scale)]
     if args.deadline_ms is not None:
@@ -158,7 +164,7 @@ def main(argv=None) -> int:
                     raise SystemExit(f"unexpected {status}: {body}")
                 events.append(("admit", spec, status))
         wall_s = time.monotonic() - t0
-        _, metrics = request(base, "GET", "/metrics")
+        _, metrics = request(base, "GET", "/metrics?format=json")
         _, state = request(base, "GET", "/state")
     finally:
         proc.send_signal(signal.SIGINT)

@@ -26,6 +26,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.algorithms.vector_packing import MetaProbeEngine, hvp_strategies
 from repro.algorithms.vector_packing.meta import meta_algorithm
 from repro.algorithms.yield_search import (
@@ -143,3 +144,41 @@ def test_speedup_and_record(sweep, emit, output_dir):
         # committed ratio was measured on a different host.
         print(f"speedup {speedup:.2f}x vs committed baseline "
               f"{baseline['speedup']:.2f}x")
+
+
+#: Observability-off budget: instrumentation may cost this fraction of
+#: the v2 sweep at most.
+MAX_OBS_OVERHEAD = 0.02
+
+
+def test_disabled_obs_overhead_within_budget(sweep):
+    """With no ``--obs-log``, tracing must cost < 2% of the v2 sweep.
+
+    A disabled instrumentation site is one module-global bool check
+    (``obs.enabled()``) plus, on the few unguarded sites, the shared
+    no-op span singleton.  Measure that fast path's per-hit cost
+    directly, scale it by a generous over-count of the instrumented
+    events the sweep actually executed (several guards per probe, plus
+    per-instance factory/engine/search sites), and compare against the
+    sweep's own wall clock — a same-run ratio, so it holds on slow CI
+    hosts just like the speedup gate.
+    """
+    assert not obs.enabled(), "benchmark must run with tracing disabled"
+    reps = 100_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        if not obs.enabled():
+            pass
+        with obs.span("bench.noop"):
+            pass
+    per_hit = (time.perf_counter() - t0) / reps
+
+    hits = sum(r["probes_v2"] for r in sweep) * 4 + len(sweep) * 8
+    overhead = per_hit * hits
+    total_v2 = sum(r["seconds_v2"] for r in sweep)
+    print(f"disabled-obs overhead: {per_hit * 1e9:.0f}ns/hit x {hits} "
+          f"hits = {overhead * 1e3:.3f}ms vs sweep {total_v2:.2f}s "
+          f"({overhead / total_v2:.4%})")
+    assert overhead <= MAX_OBS_OVERHEAD * total_v2, (
+        f"disabled instrumentation costs {overhead / total_v2:.2%} of "
+        f"the v2 sweep (budget {MAX_OBS_OVERHEAD:.0%})")

@@ -35,6 +35,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ... import obs
 from ...core.instance import ProblemInstance
 from ...kernels import get_backend
 from .sorting import SortStrategy, order_indices
@@ -72,17 +73,22 @@ class YieldProbeFactory:
     def __init__(self, instance: ProblemInstance):
         sv, nd = instance.services, instance.nodes
         self.instance = instance
-        self.y_elem_max = affine_fit_thresholds(
-            sv.req_elem, sv.need_elem,
-            nd.elementary + capacity_tolerance(nd.elementary))
-        y_agg_max = affine_fit_thresholds(
-            sv.req_agg, sv.need_agg,
-            nd.aggregate + capacity_tolerance(nd.aggregate))
-        # Largest yield at which every item still has *some* bin that fits
-        # it in isolation; above it the probe is trivially infeasible.
-        per_item = np.minimum(self.y_elem_max, y_agg_max).max(
-            axis=1, initial=-np.inf)
-        self.infeasible_above = float(per_item.min(initial=np.inf))
+        with obs.span("meta.factory") as sp:
+            self.y_elem_max = affine_fit_thresholds(
+                sv.req_elem, sv.need_elem,
+                nd.elementary + capacity_tolerance(nd.elementary))
+            y_agg_max = affine_fit_thresholds(
+                sv.req_agg, sv.need_agg,
+                nd.aggregate + capacity_tolerance(nd.aggregate))
+            # Largest yield at which every item still has *some* bin that
+            # fits it in isolation; above it the probe is trivially
+            # infeasible.
+            per_item = np.minimum(self.y_elem_max, y_agg_max).max(
+                axis=1, initial=-np.inf)
+            self.infeasible_above = float(per_item.min(initial=np.inf))
+            if obs.enabled():
+                sp.annotate(services=len(sv), hosts=len(nd),
+                            backend=get_backend().name)
         self._bin_orders: dict[SortStrategy, np.ndarray] = {}
 
     def bin_order(self, sort: SortStrategy) -> np.ndarray:
@@ -166,6 +172,13 @@ class MetaProbeEngine:
         # Introspection counters (probes answered, strategy executions).
         self.probes = 0
         self.strategy_runs = 0
+        if obs.enabled():
+            obs.event("meta.engine", {
+                "strategies": len(self.strategies),
+                "backend": get_backend().name,
+                "services": len(instance.services),
+                "hosts": len(instance.nodes),
+            })
 
     @property
     def hint_strategy(self) -> Optional[VPStrategy]:
@@ -176,6 +189,22 @@ class MetaProbeEngine:
                  y: float) -> Optional[np.ndarray]:
         if instance is not self.factory.instance:
             raise ValueError("engine is bound to a different instance")
+        if not obs.enabled():
+            return self._probe(instance, y)
+        runs_before = self.strategy_runs
+        hint_before = self.hint
+        with obs.span("meta.probe") as sp:
+            placement = self._probe(instance, y)
+            sp.annotate(y=round(y, 6), feasible=placement is not None,
+                        strategy_runs=self.strategy_runs - runs_before,
+                        hint_hit=(placement is not None
+                                  and self.hint == hint_before
+                                  and hint_before is not None))
+        return placement
+
+    def _probe(self, instance: ProblemInstance,
+               y: float) -> Optional[np.ndarray]:
+        """One feasibility probe (the real work; tracing wraps it)."""
         self.probes += 1
         ctx = self.factory.probe(y)
         if ctx is None:

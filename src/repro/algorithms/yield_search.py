@@ -34,6 +34,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.allocation import Allocation
 from ..core.instance import ProblemInstance
 
@@ -99,6 +100,37 @@ def binary_search_max_yield(
     Returns the best allocation found, or ``None`` when even yield 0 (the
     rigid requirements alone) cannot be packed.
     """
+    if not obs.enabled():
+        return _binary_search_impl(instance, packer, tolerance, improve,
+                                   hint, hint_window, stats)
+    # Tracing on: run with a stats dict (borrowing the caller's when
+    # given) so the span can report the probe accounting.
+    local = stats if stats is not None else {}
+    with obs.span("yield.search") as sp:
+        alloc = _binary_search_impl(instance, packer, tolerance, improve,
+                                    hint, hint_window, local)
+        certified = local.get("certified")
+        sp.annotate(
+            services=len(instance.services),
+            hosts=len(instance.nodes),
+            probes=local.get("probes", 0),
+            hint_used=bool(local.get("hint_used", False)),
+            feasible=alloc is not None,
+            certified=None if certified is None else round(certified, 6),
+        )
+    return alloc
+
+
+def _binary_search_impl(
+    instance: ProblemInstance,
+    packer: Packer,
+    tolerance: float,
+    improve: bool,
+    hint: Optional[float],
+    hint_window: float,
+    stats: Optional[dict],
+) -> Optional[Allocation]:
+    """The search itself; :func:`binary_search_max_yield` adds tracing."""
     probes = 0
 
     def probe(y: float) -> Optional[np.ndarray]:

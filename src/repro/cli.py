@@ -45,6 +45,14 @@ warm-started incremental re-solve (``--port 0`` binds an ephemeral port
 and prints it on stdout; see the README's "Serving allocations")::
 
     repro serve --port 0 --strategy METAHVPLIGHT --deadline-ms 250
+
+The global ``--obs-log FILE`` flag (or ``REPRO_OBS=FILE``) traces any
+command — solves, probes, checkpoint writes, daemon requests — as
+structured JSONL; ``repro obs report FILE`` summarizes where the time
+went (see the README's "Observability")::
+
+    repro --obs-log trace.jsonl table1
+    repro obs report trace.jsonl --top 15
 """
 
 from __future__ import annotations
@@ -108,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(registered: {', '.join(workload_names())}; "
                              "e.g. heavy-tailed:cpu_tail_index=1.2 or "
                              "trace:path=services.csv)")
+    parser.add_argument("--obs-log", default=None, metavar="FILE",
+                        help="trace spans/events to this JSONL file "
+                             "(default: the REPRO_OBS env var, else "
+                             "tracing is off); summarize with "
+                             "'repro obs report FILE'")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="pairwise comparisons (Table 1)")
@@ -199,6 +212,27 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--cpu-need-scale", type=float, default=0.05,
                     help="core-units -> capacity-units scale for sampled "
                          "services (default 0.05, as in 'repro dynamic')")
+    sv.add_argument("--log-level", default="info",
+                    choices=("debug", "info", "warning", "error"),
+                    help="request-log verbosity (default info; the "
+                         "/healthz and /metrics pollers log at debug)")
+    sv.add_argument("--log-json", action="store_true",
+                    help="one JSON object per log line (with the "
+                         "request's trace id) instead of text")
+
+    ob = sub.add_parser("obs", help="observability tools (trace analysis)")
+    obs_sub = ob.add_subparsers(dest="obs_command", required=True)
+    rep = obs_sub.add_parser(
+        "report",
+        help="summarize an --obs-log JSONL trace: per-span latency/count "
+             "table plus the slowest individual spans")
+    rep.add_argument("trace", help="JSONL trace file written via --obs-log "
+                                   "or REPRO_OBS")
+    rep.add_argument("--top", type=int, default=10,
+                     help="number of slowest spans to list (default 10)")
+    rep.add_argument("--name", default=None, metavar="SPAN",
+                     help="restrict the report to one span name "
+                          "(e.g. yield.search)")
 
     sh = sub.add_parser(
         "shard",
@@ -484,6 +518,11 @@ def _apply_global_options(args: argparse.Namespace,
             kernels.use_backend(args.kernel_backend, persist_env=True)
         except kernels.KernelBackendUnavailable as exc:
             parser.error(str(exc))
+    if args.obs_log is not None:
+        from . import obs
+        # persist_env for the same reason: pool workers re-enable from
+        # REPRO_OBS and append to the same JSONL sink.
+        obs.configure(args.obs_log, persist_env=True)
 
 
 def _parse_inner(rest: list[str], parser: argparse.ArgumentParser,
@@ -583,10 +622,26 @@ def _cmd_dynamic(args) -> None:
                     f"threshold {args.threshold}"))
 
 
+def _cmd_obs(args, parser: argparse.ArgumentParser) -> None:
+    from .obs.report import load_trace, render_report
+    try:
+        records, malformed = load_trace(args.trace)
+    except OSError as exc:
+        parser.error(f"obs report: {exc}")
+    try:
+        print(render_report(records, top=args.top, name=args.name,
+                            malformed=malformed))
+    except BrokenPipeError:  # `repro obs report ... | head` is normal use
+        os.close(sys.stdout.fileno())
+        raise SystemExit(0)
+
+
 def _cmd_serve(args) -> None:
+    from .obs.logs import setup_logging
     from .service import AllocationController, ServiceError, create_server
     from .service import run_server
     from .workloads import generate_platform
+    setup_logging(level=args.log_level, json_lines=args.log_json)
     nodes = generate_platform(hosts=args.hosts, cov=args.cov, rng=args.seed)
     try:
         controller = AllocationController(
@@ -623,6 +678,8 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_shard(args, parser)
     elif args.command == "merge":
         _cmd_merge(args, parser)
+    elif args.command == "obs":
+        _cmd_obs(args, parser)
     else:
         _COMMANDS[args.command](args)
     return 0

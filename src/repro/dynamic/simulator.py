@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..algorithms.base import NamedAlgorithm
 from ..core.instance import ProblemInstance
 from ..core.node import NodeArray
@@ -307,7 +308,17 @@ class DynamicSimulator:
             prev_assigned = self._assigned.copy()
             promised: float | None = None
             if t % self.period == 0:
-                promised = self._full_reallocation(active)
+                if obs.enabled():
+                    probes_before = self.search_probes
+                    with obs.span("dynamic.epoch") as sp:
+                        promised = self._full_reallocation(active)
+                        sp.annotate(
+                            t=t, active=int(active.size),
+                            probes=self.search_probes - probes_before,
+                            promised=(None if promised is None
+                                      else round(promised, 6)))
+                else:
+                    promised = self._full_reallocation(active)
                 if promised is None:
                     # Full re-pack failed (e.g. transient overload); fall
                     # back to incremental so running services survive.

@@ -1,0 +1,66 @@
+"""Logging setup for the daemon: level control and optional JSON lines.
+
+``repro serve --log-level debug --log-json`` routes through here.  The
+JSON formatter emits one object per line (``ts``/``level``/``logger``/
+``msg`` plus any ``extra=`` fields and the current trace id when one is
+active), so daemon logs and obs traces can be joined on ``trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+from . import trace
+
+__all__ = ["JsonFormatter", "setup_logging"]
+
+#: LogRecord attributes that are plumbing, not user-supplied extras.
+_RESERVED = frozenset(vars(logging.makeLogRecord({})) ) | {"message",
+                                                           "asctime"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per log line, trace-id aware."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        trace_id = trace.current_trace_id()
+        if trace_id is not None:
+            payload["trace"] = trace_id
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def setup_logging(level: str = "info", json_lines: bool = False,
+                  logger_name: str = "repro") -> logging.Logger:
+    """Configure the ``repro`` logger tree for console output.
+
+    Idempotent: replaces any handlers a previous call installed rather
+    than stacking duplicates (tests call this repeatedly in-process).
+    """
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(getattr(logging, level.upper(), logging.INFO))
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    if json_lines:
+        handler.setFormatter(JsonFormatter())
+    else:
+        formatter = logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s")
+        formatter.converter = time.gmtime
+        handler.setFormatter(formatter)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

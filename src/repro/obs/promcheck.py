@@ -1,0 +1,174 @@
+"""Validator for Prometheus text exposition format 0.0.4.
+
+Used two ways: as a library (``check_prometheus_text``) by the metrics
+tests, and as a CLI (``python -m repro.obs.promcheck metrics.prom``) by
+the CI ``service-smoke`` job to prove the daemon's ``GET /metrics``
+output is a real scrape target, not just plausible-looking text.
+
+Checks: metric/label name charsets, ``# TYPE`` declared once per
+family and before its samples, sample values parse as floats (or
+``+Inf``/``-Inf``/``NaN``), histogram families expose ``_bucket`` /
+``_sum`` / ``_count`` series with a terminal ``le="+Inf"`` bucket and
+non-decreasing cumulative counts, and counters/gauges are non-repeating
+per label set.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Tuple
+
+__all__ = ["check_prometheus_text", "main"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$")
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"'
+    r'(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+_VALUE_RE = re.compile(
+    r"^([+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?|[+-]?Inf|NaN)$")
+
+
+def _parse_labels(raw: str, errors: List[str], lineno: int) -> Tuple:
+    pairs = []
+    pos = 0
+    while pos < len(raw):
+        m = _LABEL_PAIR_RE.match(raw, pos)
+        if not m:
+            errors.append(f"line {lineno}: malformed labels {{{raw}}}")
+            return tuple(pairs)
+        pairs.append((m.group("key"), m.group("value")))
+        pos = m.end()
+    return tuple(pairs)
+
+
+def _family_of(sample_name: str, typed: Dict[str, str]) -> str:
+    """Map a sample name to its family (histogram series share one)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if typed.get(base) in ("histogram", "summary"):
+                return base
+    return sample_name
+
+
+def check_prometheus_text(text: str) -> List[str]:
+    """Return a list of format violations (empty ⇒ valid)."""
+    errors: List[str] = []
+    typed: Dict[str, str] = {}
+    seen_samples: Dict[Tuple[str, Tuple], int] = {}
+    family_samples: Dict[str, int] = {}
+    histogram_buckets: Dict[Tuple[str, Tuple], List[Tuple[float, float]]] = {}
+
+    if text and not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                errors.append(f"line {lineno}: malformed HELP line")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or not _NAME_RE.match(parts[2]):
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                errors.append(f"line {lineno}: unknown type {kind!r}")
+            if name in typed:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            if family_samples.get(name):
+                errors.append(
+                    f"line {lineno}: TYPE for {name} after its samples")
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        if not _VALUE_RE.match(m.group("value")):
+            errors.append(
+                f"line {lineno}: bad value {m.group('value')!r}")
+        labels = _parse_labels(m.group("labels") or "", errors, lineno)
+        for key, _ in labels:
+            if not _LABEL_RE.match(key):
+                errors.append(f"line {lineno}: bad label name {key!r}")
+
+        family = _family_of(name, typed)
+        family_samples[family] = family_samples.get(family, 0) + 1
+        if family not in typed:
+            errors.append(
+                f"line {lineno}: sample {name} has no # TYPE line")
+
+        key = (name, labels)
+        if key in seen_samples and typed.get(family) != "untyped":
+            errors.append(
+                f"line {lineno}: duplicate sample {name}{dict(labels)}")
+        seen_samples[key] = lineno
+
+        if (typed.get(family) == "histogram"
+                and name == f"{family}_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                errors.append(
+                    f"line {lineno}: histogram bucket without le label")
+            else:
+                other = tuple(p for p in labels if p[0] != "le")
+                bound = float("inf") if le == "+Inf" else float(le)
+                histogram_buckets.setdefault((family, other), []).append(
+                    (bound, float(m.group("value"))))
+
+    for (family, _labels), buckets in histogram_buckets.items():
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds):
+            errors.append(f"{family}: bucket bounds not ascending")
+        if not bounds or bounds[-1] != float("inf"):
+            errors.append(f"{family}: missing le=\"+Inf\" bucket")
+        counts = [c for _, c in buckets]
+        if counts != sorted(counts):
+            errors.append(f"{family}: bucket counts not cumulative")
+
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.promcheck METRICS_FILE",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0]) as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"promcheck: cannot read {argv[0]}: {exc}", file=sys.stderr)
+        return 2
+    errors = check_prometheus_text(text)
+    if errors:
+        for err in errors:
+            print(f"promcheck: {err}", file=sys.stderr)
+        print(f"promcheck: FAILED ({len(errors)} violations)",
+              file=sys.stderr)
+        return 1
+    families = sum(1 for line in text.splitlines()
+                   if line.startswith("# TYPE "))
+    print(f"promcheck: OK ({families} metric families)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

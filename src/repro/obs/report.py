@@ -1,0 +1,160 @@
+"""Offline trace analysis: ``repro obs report TRACE.jsonl``.
+
+Reads a JSONL trace written by :mod:`repro.obs.trace` and renders two
+plain-text tables: a per-span-name summary (count, total/mean/p50/p95/
+max latency, error count) and the top-N slowest individual spans with
+their tags — enough to answer "where did this run spend its time"
+without loading the trace into anything heavier.
+
+Malformed lines are counted and skipped, not fatal: traces written by
+several processes can in principle tear at the very end of a file when
+a run is killed mid-write.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["load_trace", "summarize", "render_report"]
+
+
+def load_trace(path: str) -> Tuple[List[dict], int]:
+    """Parse a JSONL trace; returns ``(records, malformed_line_count)``."""
+    records: List[dict] = []
+    bad = 0
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                bad += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                bad += 1
+    return records, bad
+
+
+def _percentile(sorted_vals: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    if not sorted_vals:
+        return 0.0
+    pos = (len(sorted_vals) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = pos - lo
+    return sorted_vals[lo] * (1 - frac) + sorted_vals[hi] * frac
+
+
+def summarize(records: Sequence[dict], name: Optional[str] = None) -> dict:
+    """Aggregate span records into per-name stats.
+
+    Returns ``{"names": {span_name: stats}, "spans": n, "events": n,
+    "traces": n}``; with *name* set, only that span name is kept.
+    """
+    by_name: Dict[str, List[dict]] = {}
+    traces = set()
+    events = 0
+    for record in records:
+        trace = record.get("trace")
+        if trace:
+            traces.add(trace)
+        if record.get("kind") == "event":
+            events += 1
+            continue
+        if record.get("kind") != "span":
+            continue
+        span_name = record.get("name", "?")
+        if name is not None and span_name != name:
+            continue
+        by_name.setdefault(span_name, []).append(record)
+
+    names = {}
+    for span_name, spans in by_name.items():
+        durs = sorted(float(s.get("dur_ms", 0.0)) for s in spans)
+        names[span_name] = {
+            "count": len(durs),
+            "errors": sum(1 for s in spans if "error" in s),
+            "total_ms": sum(durs),
+            "mean_ms": sum(durs) / len(durs),
+            "p50_ms": _percentile(durs, 0.50),
+            "p95_ms": _percentile(durs, 0.95),
+            "max_ms": durs[-1],
+        }
+    return {
+        "names": names,
+        "spans": sum(s["count"] for s in names.values()),
+        "events": events,
+        "traces": len(traces),
+    }
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _fmt_ms(ms: float) -> str:
+    return f"{ms:.3f}" if ms < 100 else f"{ms:.1f}"
+
+
+def render_report(records: Sequence[dict], top: int = 10,
+                  name: Optional[str] = None, malformed: int = 0) -> str:
+    """The full human-readable report for ``repro obs report``."""
+    summary = summarize(records, name=name)
+    out = []
+
+    header = (f"{summary['spans']} spans, {summary['events']} events, "
+              f"{summary['traces']} traces")
+    if malformed:
+        header += f" ({malformed} malformed lines skipped)"
+    out.append(header)
+    out.append("")
+
+    out.append("Per-span summary (latencies in ms)")
+    rows = []
+    ranked = sorted(summary["names"].items(),
+                    key=lambda kv: kv[1]["total_ms"], reverse=True)
+    for span_name, stats in ranked:
+        rows.append([
+            span_name, str(stats["count"]), str(stats["errors"]),
+            _fmt_ms(stats["total_ms"]), _fmt_ms(stats["mean_ms"]),
+            _fmt_ms(stats["p50_ms"]), _fmt_ms(stats["p95_ms"]),
+            _fmt_ms(stats["max_ms"]),
+        ])
+    out.append(_table(
+        ["span", "count", "err", "total", "mean", "p50", "p95", "max"],
+        rows))
+    out.append("")
+
+    spans = [r for r in records if r.get("kind") == "span"
+             and (name is None or r.get("name") == name)]
+    spans.sort(key=lambda r: float(r.get("dur_ms", 0.0)), reverse=True)
+    out.append(f"Top {min(top, len(spans))} slowest spans")
+    rows = []
+    for record in spans[:top]:
+        tags = record.get("tags") or {}
+        tag_text = " ".join(f"{k}={v}" for k, v in tags.items())
+        if len(tag_text) > 60:
+            tag_text = tag_text[:57] + "..."
+        rows.append([
+            record.get("name", "?"),
+            _fmt_ms(float(record.get("dur_ms", 0.0))),
+            str(record.get("trace", ""))[:16],
+            str(record.get("pid", "")),
+            tag_text,
+        ])
+    out.append(_table(["span", "dur_ms", "trace", "pid", "tags"], rows))
+    return "\n".join(out)

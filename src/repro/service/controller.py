@@ -41,6 +41,16 @@ via ``binary_search_max_yield(hint=)``:
 * A solver failure on a departure (or a degraded arrival) never loses
   the incumbent: the placement is retained for the remaining services
   and yields are recomputed closed-form.
+
+* **Observability**: all counters/gauges/histograms live in a
+  :class:`repro.obs.MetricsRegistry` — :meth:`render_metrics` is the
+  Prometheus text exposition served at ``GET /metrics``, while
+  :meth:`metrics` keeps the legacy JSON view (exact p50/p90/p99 from a
+  bounded sample window; fixed histogram buckets can't reproduce them).
+  Each full/degraded solve runs under an obs span (``service.solve``),
+  and admissions record the request's trace id on the stored
+  allocation so a slow client request can be joined against the
+  daemon's ``--obs-log`` trace.
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ from collections import deque
 
 import numpy as np
 
+from .. import obs
 from ..algorithms.vector_packing.meta import (
     DEFAULT_ENGINE,
     META_STRATEGY_FAMILIES,
@@ -125,16 +136,50 @@ class AllocationController:
         # Admission-control latency estimate and probation counter.
         self._full_ms: float | None = None
         self._degraded_streak = 0
-        # Metrics.
-        self.requests: dict[str, int] = {}
-        self.admitted = 0
-        self.rejected = 0
-        self.departed = 0
-        self.full_solves = 0
-        self.warm_solves = 0
-        self.degraded_solves = 0
-        self.fallback_solves = 0
-        self.total_probes = 0
+        # Metrics live in a shared registry (rendered verbatim as the
+        # Prometheus ``GET /metrics`` answer); the legacy JSON view is
+        # derived from the same counters in :meth:`metrics`.  The raw
+        # per-solve latency window stays alongside the histogram because
+        # the JSON view reports *exact* percentiles, which fixed buckets
+        # cannot reproduce.
+        self.registry = obs.MetricsRegistry()
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "repro_requests_total", "HTTP requests handled.", ("endpoint",))
+        self._m_admitted = reg.counter(
+            "repro_admitted_total", "Services admitted.")
+        self._m_rejected = reg.counter(
+            "repro_rejected_total", "Admission requests rejected.")
+        self._m_departed = reg.counter(
+            "repro_departed_total", "Services departed.")
+        self._m_solves = reg.counter(
+            "repro_solves_total",
+            "Placement solves by mode (full, degraded, fallback).",
+            ("mode",))
+        for mode in ("full", "degraded", "fallback"):
+            self._m_solves.labels(mode=mode)  # scrape shows all modes
+        self._m_warm = reg.counter(
+            "repro_warm_solves_total",
+            "Full solves that used a warm-start hint.")
+        self._m_probes = reg.counter(
+            "repro_solve_probes_total",
+            "Feasibility-oracle probes across all full solves.")
+        self._m_latency = reg.histogram(
+            "repro_solve_latency_seconds", "Placement solve latency.")
+        reg.gauge("repro_active_services",
+                  "Services currently placed.").set_function(
+            lambda: float(len(self.state)))
+        reg.gauge("repro_minimum_yield",
+                  "Minimum yield of the incumbent placement "
+                  "(0 when no services are active).").set_function(
+            lambda: float(self.state.minimum_yield() or 0.0))
+        reg.gauge("repro_max_concurrent_solves",
+                  "High-water mark of concurrent solves "
+                  "(1 proves serialization).").set_function(
+            lambda: float(self.max_concurrent_solves))
+        reg.gauge("repro_uptime_seconds",
+                  "Seconds since the controller started.").set_function(
+            lambda: time.monotonic() - self._started)
         self.last_full_solve: dict | None = None
         self._latencies: deque[float] = deque(maxlen=4096)
         self._busy = 0
@@ -161,7 +206,7 @@ class AllocationController:
 
     # -- request plumbing ----------------------------------------------
     def count_request(self, endpoint: str) -> None:
-        self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+        self._m_requests.labels(endpoint=endpoint).inc()
 
     def next_service_id(self) -> str:
         with self._lock:
@@ -220,18 +265,25 @@ class AllocationController:
         solver = self._solvers[self._strategy]
         hint = self._hint if self.warm_start else None
         stats: dict = {}
-        t0 = time.perf_counter()
-        alloc = solver.solve_with_hint(instance, hint=hint, stats=stats)
-        ms = (time.perf_counter() - t0) * 1e3
+        with obs.span("service.solve") as sp:
+            t0 = time.perf_counter()
+            alloc = solver.solve_with_hint(instance, hint=hint, stats=stats)
+            ms = (time.perf_counter() - t0) * 1e3
+            if obs.enabled():
+                sp.annotate(mode="full", strategy=self._strategy,
+                            services=len(self.state),
+                            probes=stats.get("probes", 0),
+                            feasible=alloc is not None)
         self._full_ms = (ms if self._full_ms is None
                          else 0.5 * self._full_ms + 0.5 * ms)
         self._latencies.append(ms)
+        self._m_latency.observe(ms / 1e3)
         probes = stats.get("probes", 0)
-        self.full_solves += 1
-        self.total_probes += probes
+        self._m_solves.labels(mode="full").inc()
+        self._m_probes.inc(probes)
         warm = bool(stats.get("hint_used", False))
         if warm:
-            self.warm_solves += 1
+            self._m_warm.inc()
         info = {"probes": probes, "latency_ms": ms, "warm": warm,
                 "certified": stats.get("certified"), "degraded": False}
         if alloc is not None:
@@ -273,7 +325,8 @@ class AllocationController:
                                        0.0).improve_yields()
         ms = (time.perf_counter() - t0) * 1e3
         self._latencies.append(ms)
-        self.degraded_solves += 1
+        self._m_latency.observe(ms / 1e3)
+        self._m_solves.labels(mode="degraded").inc()
         return alloc, {"probes": 0, "latency_ms": ms, "warm": False,
                        "certified": None, "degraded": True}
 
@@ -310,10 +363,14 @@ class AllocationController:
                                        "even at yield 0")
                 except ServiceError:
                     self.state.remove(spec.sid)
-                    self.rejected += 1
+                    self._m_rejected.inc()
                     raise
-                self.state.apply_allocation(alloc, info["certified"])
-                self.admitted += 1
+                trace_id = obs.current_trace_id()
+                self.state.apply_allocation(alloc, info["certified"],
+                                            trace_id=trace_id)
+                if trace_id is not None:
+                    self.state.trace_ids[spec.sid] = trace_id
+                self._m_admitted.inc()
                 return {
                     "id": spec.sid,
                     "node": self.state.placement[spec.sid],
@@ -323,6 +380,7 @@ class AllocationController:
                     "minimum_yield": self.state.minimum_yield(),
                     "certified_yield": self.state.certified,
                     "active": len(self.state),
+                    "trace": trace_id,
                     **info,
                 }
             finally:
@@ -337,7 +395,7 @@ class AllocationController:
                 if sid not in self.state:
                     raise ServiceError(404, "unknown service id", id=sid)
                 self.state.remove(sid)
-                self.departed += 1
+                self._m_departed.inc()
                 if len(self.state) == 0:
                     self.state.placement = {}
                     self.state.yields = {}
@@ -354,7 +412,7 @@ class AllocationController:
                     fallback = self._retained_allocation()
                     if fallback is not None:
                         if not info.get("degraded"):
-                            self.fallback_solves += 1
+                            self._m_solves.labels(mode="fallback").inc()
                         info = {**info, "certified": None,
                                 "degraded": True}
                         alloc = fallback
@@ -363,7 +421,8 @@ class AllocationController:
                     # surface rather than serve a broken placement.
                     raise ServiceError(500, "re-solve failed after "
                                             "departure", id=sid)
-                self.state.apply_allocation(alloc, info.get("certified"))
+                self.state.apply_allocation(alloc, info.get("certified"),
+                                            trace_id=obs.current_trace_id())
                 return {
                     "id": sid,
                     "active": len(self.state),
@@ -387,7 +446,17 @@ class AllocationController:
                 "uptime_s": time.monotonic() - self._started,
                 "active": len(self.state)}
 
+    def render_metrics(self) -> str:
+        """Prometheus text exposition of the registry (``GET /metrics``)."""
+        return self.registry.render()
+
+    def _solve_count(self, mode: str) -> int:
+        return int(self._m_solves.labels(mode=mode).value)
+
     def metrics(self) -> dict:
+        """Legacy JSON view (``GET /metrics?format=json``), derived from
+        the registry counters; the shape predates the registry and is
+        kept stable for the tests and the soak driver."""
         lat = sorted(self._latencies)
         if lat:
             latency = {"count": len(lat),
@@ -398,20 +467,22 @@ class AllocationController:
                        "max": lat[-1]}
         else:
             latency = {"count": 0}
+        requests = {key[0]: int(child.value)
+                    for key, child in self._m_requests.children().items()}
         return {
             "uptime_s": time.monotonic() - self._started,
-            "requests": dict(sorted(self.requests.items())),
-            "admission": {"admitted": self.admitted,
-                          "rejected": self.rejected,
-                          "departed": self.departed,
+            "requests": dict(sorted(requests.items())),
+            "admission": {"admitted": int(self._m_admitted.value),
+                          "rejected": int(self._m_rejected.value),
+                          "departed": int(self._m_departed.value),
                           "active": len(self.state)},
             "solver": {"strategy": self._strategy,
                        "deadline_ms": self.deadline_ms,
-                       "full_solves": self.full_solves,
-                       "warm_solves": self.warm_solves,
-                       "degraded_solves": self.degraded_solves,
-                       "fallback_solves": self.fallback_solves,
-                       "total_probes": self.total_probes,
+                       "full_solves": self._solve_count("full"),
+                       "warm_solves": int(self._m_warm.value),
+                       "degraded_solves": self._solve_count("degraded"),
+                       "fallback_solves": self._solve_count("fallback"),
+                       "total_probes": int(self._m_probes.value),
                        "last_full_solve": self.last_full_solve,
                        "max_concurrent_solves": self.max_concurrent_solves},
             "solve_latency_ms": latency,

@@ -13,8 +13,16 @@ Endpoints::
     GET    /strategy     current solver strategy
     POST   /strategy     switch the solver strategy at runtime
     GET    /healthz      liveness
-    GET    /metrics      request counts, solve latency percentiles,
-                         probe counts (plain JSON)
+    GET    /metrics      Prometheus text exposition (scrape target);
+                         ``?format=json`` keeps the legacy JSON view
+
+Every request runs under a fresh trace id, returned in an
+``X-Repro-Trace`` response header (and, for admissions, attached to the
+stored allocation), so a client error report can be joined against the
+daemon's ``--obs-log`` trace and its logs.  Request logs go through the
+``repro.serve`` logger (``--log-level`` / ``--log-json``); the
+``/healthz`` and ``/metrics`` pollers CI loops run are logged at DEBUG
+so the default INFO level stays readable.
 
 Binding to port 0 picks an ephemeral port; :func:`run_server` prints the
 actual bound address on stdout before serving (CI and parallel local
@@ -24,13 +32,21 @@ runs parse it).
 from __future__ import annotations
 
 import json
+import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
+from .. import obs
 from ..workloads.registry import workload_id
 from .controller import AllocationController, ServiceError
 from .state import ServiceSpec
 
 __all__ = ["AllocationHTTPServer", "create_server", "run_server"]
+
+logger = logging.getLogger("repro.serve")
+
+#: Poller endpoints whose request lines are demoted to DEBUG.
+_QUIET_PATHS = ("/healthz", "/metrics")
 
 #: Cap request bodies well above any honest descriptor payload.
 MAX_BODY_BYTES = 1 << 20
@@ -56,10 +72,17 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.controller
 
     def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+        self._reply_bytes(status, json.dumps(payload).encode(),
+                          "application/json")
+
+    def _reply_bytes(self, status: int, body: bytes,
+                     content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header("X-Repro-Trace", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -80,6 +103,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        # One trace id per request, even with tracing disabled — the
+        # X-Repro-Trace header must always be answerable.
+        with obs.trace_context() as tc:
+            self._trace_id = tc.trace_id
+            if not obs.enabled():
+                return self._dispatch(method, path)
+            with obs.span("http.request") as sp:
+                sp.annotate(method=method, path=path)
+                self._dispatch(method, path)
+
+    def _dispatch(self, method: str, path: str) -> None:
         try:
             handler = _ROUTES.get((method, path))
             if handler is not None:
@@ -90,6 +124,7 @@ class _Handler(BaseHTTPRequestHandler):
         except ServiceError as exc:
             self._reply(exc.status, exc.payload)
         except Exception as exc:  # never kill the connection thread
+            logger.exception("unhandled error handling %s %s", method, path)
             self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
@@ -102,10 +137,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._route("DELETE")
 
     def log_message(self, format: str, *args) -> None:
-        # Default stderr logging, minus the per-request noise of the
-        # health/metrics pollers CI loops run.
-        if "/healthz" not in self.path:
-            super().log_message(format, *args)
+        # Request lines go through the ``repro.serve`` logger (text or
+        # JSON, per ``repro serve --log-json``); the health/metrics
+        # pollers CI loops run are demoted to DEBUG under both formats.
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        level = (logging.DEBUG if path in _QUIET_PATHS else logging.INFO)
+        logger.log(level, "%s %s", self.address_string(), format % args)
 
     # -- endpoints -----------------------------------------------------
     def _get_healthz(self) -> None:
@@ -116,7 +153,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _get_metrics(self) -> None:
         ctl = self.controller
         ctl.count_request("metrics")
-        self._reply(200, ctl.metrics())
+        query = parse_qs(self.path.partition("?")[2])
+        if query.get("format", [""])[0] == "json":
+            return self._reply(200, ctl.metrics())
+        self._reply_bytes(
+            200, ctl.render_metrics().encode(),
+            "text/plain; version=0.0.4; charset=utf-8")
 
     def _get_state(self) -> None:
         ctl = self.controller

@@ -88,6 +88,12 @@ class ClusterState:
         #: lower bound, the natural hint for the next solve); ``None``
         #: when the incumbent came from a degraded greedy placement.
         self.certified: float | None = None
+        #: Observability correlation: per-service, the trace id of the
+        #: request that admitted it; and the trace id of the solve that
+        #: produced the incumbent placement.  Joins ``GET /state`` output
+        #: to ``--obs-log`` span records and daemon logs.
+        self.trace_ids: dict[str, str] = {}
+        self.solve_trace: str | None = None
 
     # -- membership ----------------------------------------------------
     def __len__(self) -> int:
@@ -115,6 +121,7 @@ class ClusterState:
         spec = self._services.pop(sid)  # KeyError -> 404 upstream
         self.placement.pop(sid, None)
         self.yields.pop(sid, None)
+        self.trace_ids.pop(sid, None)
         if not self._services:
             self.certified = None
         return spec
@@ -134,14 +141,17 @@ class ClusterState:
         return ProblemInstance(self.nodes, services)
 
     def apply_allocation(self, alloc: Allocation,
-                         certified: float | None) -> None:
+                         certified: float | None,
+                         trace_id: str | None = None) -> None:
         """Adopt *alloc* (over :meth:`build_instance`'s row order) as the
-        incumbent."""
+        incumbent.  *trace_id* correlates the incumbent with the request
+        whose solve produced it."""
         ids = self.ids()
         assert len(ids) == alloc.placement.shape[0]
         self.placement = {sid: int(h) for sid, h in zip(ids, alloc.placement)}
         self.yields = {sid: float(y) for sid, y in zip(ids, alloc.yields)}
         self.certified = certified
+        self.solve_trace = trace_id
 
     def assignment_array(self) -> np.ndarray:
         """``(J,)`` node index per live service in instance row order
@@ -166,7 +176,8 @@ class ClusterState:
             loads = node_loads(instance, self.assignment_array(), yields)
         services: Mapping[str, dict] = {
             sid: {"node": self.placement.get(sid),
-                  "yield": self.yields.get(sid)}
+                  "yield": self.yields.get(sid),
+                  "trace": self.trace_ids.get(sid)}
             for sid in self.ids()}
         return {
             "hosts": len(self.nodes),
@@ -178,4 +189,5 @@ class ClusterState:
             "node_capacity": [row.tolist() for row in self.nodes.aggregate],
             "minimum_yield": self.minimum_yield(),
             "certified_yield": self.certified,
+            "solve_trace": self.solve_trace,
         }

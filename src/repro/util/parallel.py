@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import (
@@ -35,6 +36,8 @@ from typing import (
     Sequence,
     TypeVar,
 )
+
+from .. import obs
 
 __all__ = ["TaskError", "default_workers", "parallel_imap",
            "parallel_imap_cached", "parallel_map"]
@@ -80,6 +83,15 @@ class _IndexedCall:
 
     def __call__(self, pair):
         index, task = pair
+        if not obs.enabled():
+            return self._run(index, task)
+        # Worker processes re-enable from REPRO_OBS at import, so sweep
+        # task spans land in the shared sink whichever side runs them.
+        with obs.span("parallel.task") as sp:
+            sp.annotate(index=index)
+            return self._run(index, task)
+
+    def _run(self, index, task):
         try:
             return self.fn(task)
         except TaskError:
@@ -146,6 +158,11 @@ def _imap_pairs(fn: Callable[[T], R], pairs: Iterable[tuple[int, T]],
     if not head:  # empty input: never start a pool
         return
     pool = ProcessPoolExecutor(max_workers=workers)
+    # A long-lived span here would leak trace context into the consumer
+    # across every ``yield``, so the sweep is summarized by a single
+    # end-of-stream event instead (tasks completed, wall time).
+    started = time.perf_counter()
+    completed = 0
     try:
         inflight: deque = deque()
         for pair in itertools.chain(head, itertools.islice(pairs, window - 1)):
@@ -154,9 +171,17 @@ def _imap_pairs(fn: Callable[[T], R], pairs: Iterable[tuple[int, T]],
             result = inflight.popleft().result()
             for pair in itertools.islice(pairs, 1):
                 inflight.append(pool.submit(call, pair))
+            completed += 1
             yield result
     finally:
         pool.shutdown(wait=True, cancel_futures=True)
+        if obs.enabled():
+            obs.event("parallel.sweep", {
+                "tasks": completed,
+                "workers": workers,
+                "window": window,
+                "wall_s": round(time.perf_counter() - started, 6),
+            })
 
 
 def parallel_imap(fn: Callable[[T], R], tasks: Iterable[T],

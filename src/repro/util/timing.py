@@ -1,11 +1,20 @@
-"""Wall-clock timing helpers for the run-time experiments (Table 2)."""
+"""Wall-clock timing helpers for the run-time experiments (Table 2).
+
+Thin wrappers over :func:`repro.obs.timed_span`, so Table 2 timings and
+``--obs-log`` traces share one clock path (``time.perf_counter`` reads
+inside the span).  The API is unchanged from the pre-obs version; with
+tracing disabled the spans measure without emitting, and with tracing
+enabled every lap/call/timer region additionally lands in the trace as
+a ``stopwatch.lap`` / ``timed.call`` / ``timer`` span.
+"""
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
+
+from .. import obs
 
 __all__ = ["Stopwatch", "timed_call", "timer"]
 
@@ -20,11 +29,13 @@ class Stopwatch:
 
     @contextmanager
     def lap(self) -> Iterator[None]:
-        start = time.perf_counter()
+        span = obs.timed_span("stopwatch.lap")
         try:
-            yield
+            with span:
+                yield
         finally:
-            self.laps.append(time.perf_counter() - start)
+            # A raising lap still records its duration, as before.
+            self.laps.append(span.duration)
 
     @property
     def total(self) -> float:
@@ -37,21 +48,18 @@ class Stopwatch:
 
 def timed_call(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
     """Invoke *fn* and return ``(result, elapsed_seconds)``."""
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    return result, time.perf_counter() - start
+    span = obs.timed_span("timed.call")
+    with span:
+        result = fn(*args, **kwargs)
+    return result, span.duration
 
 
 @contextmanager
 def timer() -> Iterator[Callable[[], float]]:
     """``with timer() as t: ...; elapsed = t()`` — reads final elapsed time."""
-    start = time.perf_counter()
-    end: list[float] = []
-
-    def read() -> float:
-        return (end[0] if end else time.perf_counter()) - start
-
+    span = obs.timed_span("timer")
+    span.__enter__()
     try:
-        yield read
+        yield lambda: span.duration
     finally:
-        end.append(time.perf_counter())
+        span.__exit__(None, None, None)

@@ -1,0 +1,113 @@
+"""Trace report: loading, aggregation, rendering, malformed input."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.report import _percentile, load_trace, render_report, summarize
+
+
+def span(name, dur_ms, trace="t1", **extra):
+    return {"kind": "span", "name": name, "trace": trace,
+            "span": "s", "ts": 0.0, "dur_ms": dur_ms, "pid": 1, **extra}
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    records = [
+        span("meta.probe", 1.0),
+        span("meta.probe", 3.0, trace="t2"),
+        span("meta.probe", 10.0, error="ValueError"),
+        span("yield.search", 20.0, tags={"probes": 3}),
+        {"kind": "event", "name": "meta.engine", "trace": "t1",
+         "ts": 0.0, "pid": 1},
+    ]
+    path = tmp_path / "trace.jsonl"
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+class TestLoad:
+    def test_round_trip(self, trace_file):
+        records, bad = load_trace(str(trace_file))
+        assert len(records) == 5
+        assert bad == 0
+
+    def test_malformed_lines_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"kind": "span", "name": "ok", "dur_ms": 1}\n'
+                        '{"kind": "span", "na\n'       # torn mid-write
+                        "[1, 2, 3]\n"                  # not an object
+                        "\n")                          # blank: skipped free
+        records, bad = load_trace(str(path))
+        assert len(records) == 1
+        assert bad == 2
+
+
+class TestSummarize:
+    def test_aggregates_per_name(self, trace_file):
+        records, _ = load_trace(str(trace_file))
+        summary = summarize(records)
+        assert summary["spans"] == 4
+        assert summary["events"] == 1
+        assert summary["traces"] == 2
+        probe = summary["names"]["meta.probe"]
+        assert probe["count"] == 3
+        assert probe["errors"] == 1
+        assert probe["total_ms"] == pytest.approx(14.0)
+        assert probe["max_ms"] == pytest.approx(10.0)
+        assert probe["p50_ms"] == pytest.approx(3.0)
+
+    def test_name_filter(self, trace_file):
+        records, _ = load_trace(str(trace_file))
+        summary = summarize(records, name="yield.search")
+        assert list(summary["names"]) == ["yield.search"]
+        assert summary["spans"] == 1
+
+    def test_empty_records(self):
+        summary = summarize([])
+        assert summary == {"names": {}, "spans": 0, "events": 0,
+                           "traces": 0}
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert _percentile([7.0], 0.95) == 7.0
+
+    def test_interpolates(self):
+        assert _percentile([0.0, 10.0], 0.5) == pytest.approx(5.0)
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+
+class TestRender:
+    def test_report_renders_tables(self, trace_file):
+        records, bad = load_trace(str(trace_file))
+        text = render_report(records, top=2, malformed=bad)
+        assert "4 spans, 1 events, 2 traces" in text
+        assert "Per-span summary" in text
+        assert "Top 2 slowest spans" in text
+        # Ranked by total time: yield.search (20ms) before meta.probe.
+        lines = text.splitlines()
+        summary_rows = [ln for ln in lines
+                        if ln.startswith(("yield.search", "meta.probe"))]
+        assert summary_rows[0].startswith("yield.search")
+        assert "probes=3" in text
+
+    def test_malformed_count_in_header(self):
+        text = render_report([span("a", 1.0)], malformed=3)
+        assert "(3 malformed lines skipped)" in text
+
+    def test_long_tags_truncated(self):
+        record = span("a", 1.0, tags={"blob": "x" * 200})
+        text = render_report([record])
+        assert "..." in text
+        assert "x" * 61 not in text
+
+    def test_empty_trace_renders(self):
+        text = render_report([])
+        assert "0 spans" in text

@@ -10,6 +10,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro.obs.promcheck import check_prometheus_text
 from repro.service import create_server
 
 from .conftest import make_controller
@@ -26,9 +27,9 @@ def server():
     thread.join(timeout=5)
 
 
-def call(srv, method: str, path: str, body: dict | None = None,
-         raw: bytes | None = None):
-    """One request; returns (status, decoded JSON payload)."""
+def call_full(srv, method: str, path: str, body: dict | None = None,
+              raw: bytes | None = None):
+    """One request; returns (status, headers, raw body bytes)."""
     host, port = srv.server_address[:2]
     data = raw if raw is not None else (
         json.dumps(body).encode() if body is not None else None)
@@ -37,9 +38,16 @@ def call(srv, method: str, path: str, body: dict | None = None,
         headers={"Content-Type": "application/json"} if data else {})
     try:
         with urllib.request.urlopen(req, timeout=30) as resp:
-            return resp.status, json.loads(resp.read())
+            return resp.status, dict(resp.headers), resp.read()
     except urllib.error.HTTPError as err:
-        return err.code, json.loads(err.read())
+        return err.code, dict(err.headers), err.read()
+
+
+def call(srv, method: str, path: str, body: dict | None = None,
+         raw: bytes | None = None):
+    """One request; returns (status, decoded JSON payload)."""
+    status, _, payload = call_full(srv, method, path, body, raw)
+    return status, json.loads(payload)
 
 
 class TestEndpoints:
@@ -102,13 +110,50 @@ class TestEndpoints:
 
     def test_metrics_shape(self, server):
         call(server, "POST", "/alloc", {"sample": True})
-        status, m = call(server, "GET", "/metrics")
+        status, m = call(server, "GET", "/metrics?format=json")
         assert status == 200
         assert m["admission"]["admitted"] == 1
         assert m["solver"]["full_solves"] == 1
         assert m["solver"]["total_probes"] > 0
         assert m["solve_latency_ms"]["count"] == 1
         assert m["requests"]["alloc"] == 1
+
+    def test_metrics_prometheus_default(self, server):
+        call(server, "POST", "/alloc", {"sample": True})
+        status, headers, body = call_full(server, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        errors = check_prometheus_text(text)
+        assert errors == []
+        assert "# TYPE repro_solves_total counter" in text
+        assert 'repro_solves_total{mode="full"} 1' in text
+        assert "repro_active_services 1" in text
+        assert "# TYPE repro_solve_latency_seconds histogram" in text
+        assert 'le="+Inf"' in text
+
+    def test_trace_header_on_every_reply(self, server):
+        traces = set()
+        for method, path, body in (
+                ("GET", "/healthz", None),
+                ("POST", "/alloc", {"sample": True}),
+                ("GET", "/nope", None)):
+            _, headers, _ = call_full(server, method, path, body)
+            trace = headers.get("X-Repro-Trace")
+            assert trace and len(trace) == 16
+            traces.add(trace)
+        assert len(traces) == 3  # ids are per-request
+
+    def test_trace_attached_to_stored_allocation(self, server):
+        status, headers, body = call_full(server, "POST", "/alloc",
+                                          {"sample": True})
+        assert status == 200
+        trace = headers["X-Repro-Trace"]
+        admitted = json.loads(body)
+        assert admitted["trace"] == trace
+        _, state = call(server, "GET", "/state")
+        assert state["services"][admitted["id"]]["trace"] == trace
+        assert state["solve_trace"] == trace
 
 
 class TestErrors:
@@ -167,7 +212,7 @@ class TestConcurrency:
         ids = {body["id"] for _, body in results}
         assert len(ids) == 24  # no duplicate ids under contention
 
-        _, m = call(server, "GET", "/metrics")
+        _, m = call(server, "GET", "/metrics?format=json")
         assert m["solver"]["max_concurrent_solves"] == 1
         assert m["admission"]["admitted"] == 24
         _, state = call(server, "GET", "/state")

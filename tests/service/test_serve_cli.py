@@ -67,7 +67,7 @@ def test_port_zero_prints_real_bound_port_and_serves(daemon):
     admitted = get_json(host, port, "/alloc",
                         data=json.dumps({"sample": True}).encode())
     assert admitted["active"] == 1
-    metrics = get_json(host, port, "/metrics")
+    metrics = get_json(host, port, "/metrics?format=json")
     assert metrics["admission"]["admitted"] == 1
 
     proc.send_signal(signal.SIGINT)
