@@ -39,6 +39,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..core.allocation import Allocation
+from ..core.resources import STRICT_FIT_ATOL
 from ..core.instance import ProblemInstance
 from .base import NamedAlgorithm
 
@@ -155,14 +156,14 @@ def _greedy_place(inst: ProblemInstance, order: np.ndarray,
                   pick: Callable) -> Optional[np.ndarray]:
     sv, nd = inst.services, inst.nodes
     # Static elementary feasibility of requirements, (J, H).
-    elem_ok = (sv.req_elem[:, None, :] <= nd.elementary[None, :, :] + 1e-12
+    elem_ok = (sv.req_elem[:, None, :] <= nd.elementary[None, :, :] + STRICT_FIT_ATOL
                ).all(axis=2)
     loads = np.zeros_like(nd.aggregate)
     placement = np.full(inst.num_services, -1, dtype=np.int64)
     for j in order:
         j = int(j)
         fits = elem_ok[j] & (
-            loads + sv.req_agg[j] <= nd.aggregate + 1e-12).all(axis=1)
+            loads + sv.req_agg[j] <= nd.aggregate + STRICT_FIT_ATOL).all(axis=1)
         cands = np.flatnonzero(fits)
         if cands.size == 0:
             return None

@@ -26,6 +26,7 @@ import numpy as np
 from ..core.allocation import Allocation
 from ..core.exceptions import InfeasibleProblemError, SolverError
 from ..core.instance import ProblemInstance
+from ..core.resources import STRICT_FIT_ATOL
 from ..lp.relaxation import placement_probabilities
 from ..lp.solver import solve_relaxation
 from ..util.rng import as_generator
@@ -46,7 +47,7 @@ def round_probabilities(instance: ProblemInstance, probs: np.ndarray,
     """
     sv, nd = instance.services, instance.nodes
     H = instance.num_nodes
-    elem_ok = (sv.req_elem[:, None, :] <= nd.elementary[None, :, :] + 1e-12
+    elem_ok = (sv.req_elem[:, None, :] <= nd.elementary[None, :, :] + STRICT_FIT_ATOL
                ).all(axis=2)
     loads = np.zeros_like(nd.aggregate)
     placement = np.full(instance.num_services, -1, dtype=np.int64)
@@ -58,7 +59,7 @@ def round_probabilities(instance: ProblemInstance, probs: np.ndarray,
                 return None
             h = int(rng.choice(H, p=p / total))
             fits = elem_ok[j, h] and bool(
-                (loads[h] + sv.req_agg[j] <= nd.aggregate[h] + 1e-12).all())
+                (loads[h] + sv.req_agg[j] <= nd.aggregate[h] + STRICT_FIT_ATOL).all())
             if fits:
                 loads[h] += sv.req_agg[j]
                 placement[j] = h

@@ -1,0 +1,51 @@
+"""Project-aware static analysis (``repro check``).
+
+An AST-based rule engine that encodes this repo's *actual* invariants —
+the properties the runtime test suite proves after the fact, checked at
+lint time instead:
+
+* determinism (``DT1xx``): seeded RNG only, no wall clock in solver/
+  kernel/experiment paths, ordered fingerprint construction, named
+  tolerance constants;
+* concurrency (``CC2xx``): the service lock never covers solves or
+  blocking I/O outside admit/depart, pool workers are picklable
+  module-level callables;
+* layering (``LY3xx``): no print in library code, metrics through
+  :mod:`repro.obs.metrics`, kernels stay leaf modules.
+
+Suppress one finding with ``# repro: noqa[RULE]`` on its line; run the
+fixture corpus with ``repro check --selftest``; keep typed modules
+locked in with ``python -m repro.analysis.ratchet``.
+"""
+
+from .core import (
+    CheckResult,
+    EngineError,
+    Finding,
+    Module,
+    Project,
+    Rule,
+    all_rules,
+    register_rule,
+    rule_ids,
+    run_check,
+)
+from .reporters import SCHEMA_VERSION, render_json, render_text
+from .selftest import run_selftest
+
+__all__ = [
+    "CheckResult",
+    "EngineError",
+    "Finding",
+    "Module",
+    "Project",
+    "Rule",
+    "SCHEMA_VERSION",
+    "all_rules",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "run_check",
+    "run_selftest",
+]

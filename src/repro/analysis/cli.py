@@ -1,0 +1,154 @@
+"""The ``repro check`` subcommand.
+
+Machine-friendly contract (mirrors ``repro.analysis.ratchet``):
+
+* exit 0 — clean (no unsuppressed findings; self-test passed);
+* exit 1 — findings (or self-test failures);
+* exit 2 — internal error (unreadable path, unparseable file, unknown
+  rule id).
+
+Output is tolerant of ``| head`` (``BrokenPipeError`` exits 0, matching
+``repro obs report``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from .core import EngineError, Rule, all_rules, run_check
+from .reporters import render_json, render_text
+from .selftest import run_selftest
+
+__all__ = ["default_paths", "resolve_rules", "run_cli"]
+
+#: searched upward from cwd to find the library root to scan.
+_ROOT_MARKERS = ("src/repro", "pyproject.toml")
+
+
+def default_paths() -> list[Path]:
+    """``src/repro`` relative to the repo root, else the installed pkg.
+
+    Walks upward from the working directory looking for ``src/repro``;
+    falls back to the package's own location so ``repro check`` works
+    from an installed wheel too.
+    """
+    current = Path.cwd()
+    for candidate in (current, *current.parents):
+        src = candidate / "src" / "repro"
+        if src.is_dir():
+            return [src]
+    return [Path(__file__).resolve().parents[1]]
+
+
+def resolve_rules(spec: str | None) -> tuple[Rule, ...]:
+    """``--rules`` argument -> rule objects.
+
+    Accepts comma-separated rule ids (``DT104,CC201``), slugs
+    (``named-tolerances``), or family prefixes (``DT``, ``determinism``).
+    """
+    rules = all_rules()
+    if not spec:
+        return rules
+    families = {"determinism": "DT", "concurrency": "CC", "layering": "LY",
+                "obs": "LY"}
+    chosen = []
+    for raw in spec.split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        key = token.upper()
+        prefix = families.get(token.lower(), key)
+        matched = [r for r in rules
+                   if r.id == key or r.name == token.lower()
+                   or r.id.startswith(prefix)]
+        if not matched:
+            raise EngineError(
+                f"unknown rule {token!r}; known: "
+                + ", ".join(f"{r.id}({r.name})" for r in rules))
+        chosen.extend(m for m in matched if m not in chosen)
+    return tuple(chosen)
+
+
+def _print_flushed(text: str) -> None:
+    print(text, flush=True)
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    """Body of ``repro check`` (argparse namespace in, exit code out)."""
+    try:
+        if args.list_rules:
+            for rule in all_rules():
+                _print_flushed(f"{rule.id}  {rule.name}\n    {rule.summary}")
+            return 0
+        if args.selftest:
+            failures = run_selftest()
+            for failure in failures:
+                print(f"selftest: {failure}", file=sys.stderr)
+            if failures:
+                n = len(failures)
+                _print_flushed(f"repro check --selftest: FAILED "
+                               f"({n} problem{'s' if n != 1 else ''})")
+                return 1
+            _print_flushed("repro check --selftest: ok")
+            return 0
+
+        rules = resolve_rules(args.rules)
+        paths = ([Path(p) for p in args.paths] if args.paths
+                 else default_paths())
+        result = run_check(paths, rules=rules)
+        if args.format == "json":
+            _print_flushed(render_json(result, rules, strict=args.strict))
+        else:
+            _print_flushed(render_text(result, rules, strict=args.strict,
+                                       verbose=args.verbose))
+        return result.exit_code(strict=args.strict)
+    except BrokenPipeError:  # `repro check | head` is normal use
+        os.close(sys.stdout.fileno())
+        return 0
+    except EngineError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+
+
+def add_check_arguments(sub: Any) -> None:
+    """Attach the ``check`` subparser (called from :mod:`repro.cli`)."""
+    ck = sub.add_parser(
+        "check",
+        help="project-aware static analysis: determinism, lock "
+             "discipline, layering (exit 0 clean / 1 findings / "
+             "2 internal error)")
+    ck.add_argument("paths", nargs="*", metavar="PATH",
+                    help="files or directories to analyze "
+                         "(default: src/repro)")
+    ck.add_argument("--rules", default=None, metavar="IDS",
+                    help="comma-separated rule ids, slugs, or families "
+                         "(e.g. DT104,concurrency); default: all")
+    ck.add_argument("--format", choices=("text", "json"), default="text",
+                    help="report format (json is schema-stable; the "
+                         "nightly workflow archives it)")
+    ck.add_argument("--strict", action="store_true",
+                    help="also fail on suppression comments that "
+                         "silence nothing (SUP000)")
+    ck.add_argument("--verbose", action="store_true",
+                    help="also list suppressed findings")
+    ck.add_argument("--selftest", action="store_true",
+                    help="run the fixture corpus: every known-bad "
+                         "snippet must trip exactly its rule")
+    ck.add_argument("--list-rules", action="store_true",
+                    help="print the registered rules and exit")
+
+
+def main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover
+    """``python -m repro.analysis.cli`` standalone entry point."""
+    parser = argparse.ArgumentParser(prog="repro-check")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_check_arguments(sub)
+    return run_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

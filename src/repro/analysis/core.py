@@ -1,0 +1,356 @@
+"""The static-analysis engine: modules, rules, findings, suppression.
+
+``repro check`` parses every library module once into a
+:class:`Module` (source, AST, per-line suppression table), hands the
+whole :class:`Project` to each registered :class:`Rule`, and collects
+:class:`Finding` records.  Rules see the *project*, not one file at a
+time, because the concurrency rules need a cross-module view (the
+``service/`` call graph).
+
+Suppression follows the repo-specific ``noqa`` dialect::
+
+    loads = rebuild(x)          # repro: noqa[CC201]
+    print(port, flush=True)     # repro: noqa[LY301,DT102]
+    anything_at_all()           # repro: noqa
+
+A bare ``# repro: noqa`` silences every rule on that line; the
+bracketed form silences only the listed rule ids.  ``--strict`` runs
+additionally report suppression comments that silenced nothing (rule id
+``SUP000``), so stale escapes cannot accumulate.
+
+Fixture files (the self-test corpus under ``analysis/fixtures/``) carry
+a pragma that assigns them a *virtual* path, so path-scoped rules treat
+the snippet as though it lived inside the library tree::
+
+    # repro-fixture: rule=DT104 count=2 path=repro/algorithms/example.py
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "EngineError",
+    "Finding",
+    "Module",
+    "Project",
+    "Rule",
+    "all_rules",
+    "dotted_name",
+    "load_module",
+    "register_rule",
+    "run_check",
+    "rule_ids",
+]
+
+#: Marks a bare rule-less suppression (silence every rule on the line).
+_ALL_RULES = frozenset({"*"})
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
+_FIXTURE_RE = re.compile(r"#\s*repro-fixture:\s*(?P<body>.+)")
+
+
+class EngineError(RuntimeError):
+    """An internal analysis failure (unreadable/unparseable input).
+
+    Distinct from findings: ``repro check`` exits 2 on this, 1 on
+    findings, 0 when clean.
+    """
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+@dataclass
+class Module:
+    """One parsed source file plus its suppression table."""
+
+    path: Path
+    relpath: str  # virtual posix path, e.g. "repro/core/node.py"
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    #: line number -> rule ids suppressed there ({"*"} = all of them).
+    suppressions: dict[int, frozenset[str]]
+    fixture: dict[str, str] = field(default_factory=dict)
+
+    def in_package(self, *parts: str) -> bool:
+        """True when the module lives under ``repro/<parts...>/``."""
+        prefix = "/".join(("repro",) + parts) + "/"
+        return self.relpath.startswith(prefix)
+
+    def is_file(self, relpath: str) -> bool:
+        return self.relpath == relpath
+
+
+@dataclass
+class Project:
+    """Every module of one ``repro check`` run."""
+
+    modules: list[Module]
+
+    def by_path(self, relpath: str) -> Module | None:
+        for mod in self.modules:
+            if mod.relpath == relpath:
+                return mod
+        return None
+
+
+class Rule:
+    """Base class: subclasses declare an id and scan the project.
+
+    ``id`` is the stable machine name used in reports and suppression
+    comments; ``name`` is the human slug; ``summary`` one line for
+    ``repro check --list-rules``.
+    """
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(path=module.relpath,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       rule=self.id, message=message)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register one rule."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by id (imports the rule modules)."""
+    from . import rules  # noqa: F401  (registration side effect)
+    return tuple(rule for _, rule in sorted(_REGISTRY.items()))
+
+
+def rule_ids() -> tuple[str, ...]:
+    return tuple(rule.id for rule in all_rules())
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+
+
+def _parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Per-line suppression table from ``# repro: noqa[...]`` comments.
+
+    Comments are found with the tokenizer, not a regex over raw lines,
+    so a ``# repro: noqa`` inside a string literal does not suppress.
+    """
+    table: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if not match:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                ids = _ALL_RULES
+            else:
+                ids = frozenset(r.strip().upper()
+                                for r in rules.split(",") if r.strip())
+            table[tok.start[0]] = table.get(tok.start[0], frozenset()) | ids
+    except tokenize.TokenizeError:  # pragma: no cover - parse already failed
+        pass
+    return table
+
+
+def _parse_fixture_pragma(source: str) -> dict[str, str]:
+    """``# repro-fixture: k=v k=v`` header (first ten lines only)."""
+    for line in source.splitlines()[:10]:
+        match = _FIXTURE_RE.search(line)
+        if match:
+            pragma: dict[str, str] = {}
+            for part in match.group("body").split():
+                key, eq, value = part.partition("=")
+                if eq:
+                    pragma[key.strip()] = value.strip()
+            return pragma
+    return {}
+
+
+def _relpath_for(path: Path) -> str:
+    """The module's path relative to the ``repro`` package root.
+
+    Files outside any ``repro`` tree keep their name — path-scoped
+    rules simply do not apply to them.
+    """
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return path.name
+
+
+def load_module(path: Path) -> Module:
+    """Read + parse one file; raises :class:`EngineError` on failure."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise EngineError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise EngineError(
+            f"cannot parse {path}: line {exc.lineno}: {exc.msg}") from exc
+    fixture = _parse_fixture_pragma(source)
+    relpath = fixture.get("path") or _relpath_for(path)
+    return Module(path=path, relpath=relpath, source=source, tree=tree,
+                  lines=source.splitlines(),
+                  suppressions=_parse_suppressions(source),
+                  fixture=fixture)
+
+
+#: Directories never scanned: the fixture corpus is known-bad on purpose.
+_EXCLUDED_DIRS = {"__pycache__", "fixtures"}
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand *paths* (files or directories) to .py files, sorted."""
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if _EXCLUDED_DIRS.isdisjoint(sub.parts) and sub not in seen:
+                    seen.add(sub)
+                    yield sub
+        elif path.suffix == ".py":
+            if path not in seen:
+                seen.add(path)
+                yield path
+        else:
+            raise EngineError(f"not a python file or directory: {path}")
+
+
+# ---------------------------------------------------------------------------
+# Running
+
+
+@dataclass
+class CheckResult:
+    """Everything one run produced, pre-split by suppression state."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    unused_suppressions: list[Finding]
+    files: int
+
+    def exit_code(self, strict: bool = False) -> int:
+        active = list(self.findings)
+        if strict:
+            active += self.unused_suppressions
+        return 1 if active else 0
+
+
+def _is_suppressed(finding: Finding, module: Module) -> bool:
+    ids = module.suppressions.get(finding.line)
+    return bool(ids) and ("*" in ids or finding.rule in ids)
+
+
+def run_check(paths: Sequence[Path],
+              rules: Iterable[Rule] | None = None,
+              progress: Callable[[Path], None] | None = None) -> CheckResult:
+    """Run *rules* (default: all) over *paths*; split by suppression."""
+    chosen = tuple(rules) if rules is not None else all_rules()
+    modules = []
+    for path in iter_python_files(paths):
+        if progress is not None:
+            progress(path)
+        modules.append(load_module(path))
+    project = Project(modules=modules)
+    by_path = {m.relpath: m for m in modules}
+
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in chosen:
+        for finding in rule.check(project):
+            module = by_path.get(finding.path)
+            if module is not None and _is_suppressed(finding, module):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+
+    used = {(f.path, f.line) for f in suppressed}
+    unused: list[Finding] = []
+    for module in modules:
+        for line, ids in sorted(module.suppressions.items()):
+            if (module.relpath, line) not in used:
+                listed = "all rules" if "*" in ids else ", ".join(sorted(ids))
+                unused.append(Finding(
+                    path=module.relpath, line=line, col=0, rule="SUP000",
+                    message=f"suppression comment silences nothing "
+                            f"({listed})"))
+    return CheckResult(findings=sorted(findings),
+                       suppressed=sorted(suppressed),
+                       unused_suppressions=sorted(unused),
+                       files=len(modules))
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers used by several rules
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_calls(tree: ast.AST) -> Iterator[tuple[ast.Call, str]]:
+    """Every call with a resolvable dotted function name."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None:
+                yield node, name
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """child -> parent for every node (rules that need ancestors)."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents

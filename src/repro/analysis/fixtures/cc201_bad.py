@@ -1,0 +1,25 @@
+# repro-fixture: rule=CC201 count=2 path=repro/service/example.py
+# ruff: noqa
+"""Known-bad: lock-held blocking work outside admit/depart."""
+import threading
+import time
+
+
+class Controller:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.rows = []
+
+    def _write_report(self, path):
+        with open(path, "w") as fh:
+            fh.write("\n".join(self.rows))
+
+    def stats(self, path):
+        with self._lock:  # transitively reaches open() under the lock
+            self.rows.append("stats")
+            self._write_report(path)
+
+    def poll(self):
+        with self._lock:  # sleeps while every request queues behind us
+            time.sleep(0.1)
+            return len(self.rows)

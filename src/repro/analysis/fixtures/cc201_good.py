@@ -1,0 +1,29 @@
+# repro-fixture: rule=CC201 count=0 path=repro/service/example.py
+# ruff: noqa
+"""Known-good: solves stay on the sanctioned admit/depart paths; other
+lock regions touch in-memory state only."""
+import threading
+
+
+class Controller:
+    def __init__(self, solver):
+        self._lock = threading.RLock()
+        self.solver = solver
+        self.live = {}
+
+    def admit(self, spec):
+        with self._lock:  # sanctioned: the re-solve request path
+            self.live[spec.sid] = spec
+            return self.solver.solve_with_hint(self._instance(), hint=None)
+
+    def depart(self, sid):
+        with self._lock:  # sanctioned: the re-solve request path
+            self.live.pop(sid, None)
+            return self.solver.solve(self._instance())
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self.live)
+
+    def _instance(self):
+        return tuple(self.live)

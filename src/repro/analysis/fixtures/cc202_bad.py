@@ -1,0 +1,16 @@
+# repro-fixture: rule=CC202 count=2 path=repro/experiments/example.py
+# ruff: noqa
+"""Known-bad: closure workers crossing the process-pool boundary."""
+from repro.util.parallel import parallel_imap
+
+
+def run_sweep(tasks, scale):
+    results = []
+
+    def worker(task):
+        results.append(task)  # mutated copy: never visible to the parent
+        return task * scale
+
+    doubled = list(parallel_imap(lambda t: t * 2, tasks))
+    scaled = list(parallel_imap(worker, tasks))
+    return doubled, scaled, results

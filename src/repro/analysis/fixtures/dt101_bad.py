@@ -1,0 +1,14 @@
+# repro-fixture: rule=DT101 count=4 path=repro/workloads/example.py
+# ruff: noqa
+"""Known-bad: process-global RNG in a workload module."""
+import random
+from random import choice
+
+import numpy as np
+
+
+def sample_services(n):
+    order = list(range(n))
+    np.random.shuffle(order)
+    rng = np.random.default_rng()
+    return [choice(order) for _ in range(n)], rng, random.random

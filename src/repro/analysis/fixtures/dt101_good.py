@@ -1,0 +1,10 @@
+# repro-fixture: rule=DT101 count=0 path=repro/workloads/example.py
+# ruff: noqa
+"""Known-good: every draw flows through an explicit seed."""
+import numpy as np
+
+
+def sample_services(n, seed):
+    rng = np.random.default_rng(seed)
+    child = np.random.default_rng(np.random.SeedSequence(seed))
+    return rng.permutation(n), child.uniform(size=n)

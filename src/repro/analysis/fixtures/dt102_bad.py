@@ -1,0 +1,12 @@
+# repro-fixture: rule=DT102 count=3 path=repro/experiments/example.py
+# ruff: noqa
+"""Known-bad: wall-clock reads in an experiment driver."""
+import time
+from datetime import datetime
+
+
+def run_sweep(tasks):
+    started = time.time()
+    stamp = datetime.now().isoformat()
+    due = datetime.utcnow()
+    return started, stamp, due, tasks

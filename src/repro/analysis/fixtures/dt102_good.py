@@ -1,0 +1,10 @@
+# repro-fixture: rule=DT102 count=0 path=repro/experiments/example.py
+# ruff: noqa
+"""Known-good: monotonic timing in an experiment driver."""
+import time
+
+
+def run_sweep(tasks):
+    t0 = time.perf_counter()
+    deadline = time.monotonic() + 5.0
+    return t0, deadline, tasks

@@ -1,0 +1,9 @@
+# repro-fixture: rule=DT102 count=0 path=repro/obs/example.py
+# ruff: noqa
+"""Known-good: the obs layer owns wall timestamps."""
+import time
+
+
+def stamp_record(record):
+    record["ts"] = round(time.time(), 6)
+    return record

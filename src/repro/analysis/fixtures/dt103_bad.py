@@ -1,0 +1,11 @@
+# repro-fixture: rule=DT103 count=2 path=repro/experiments/example.py
+# ruff: noqa
+"""Known-bad: unordered iteration inside checkpoint-identity builders."""
+
+
+def spec_fingerprint(fields):
+    return ",".join(f"{k}={v}" for k, v in fields.items())
+
+
+def scenario_key(config, extras):
+    return tuple(x for x in set(extras)) + (config,)

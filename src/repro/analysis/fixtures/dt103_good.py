@@ -1,0 +1,12 @@
+# repro-fixture: rule=DT103 count=0 path=repro/experiments/example.py
+# ruff: noqa
+"""Known-good: identity builders sort or reduce order-free."""
+
+
+def spec_fingerprint(fields):
+    return ",".join(f"{k}={v}" for k, v in sorted(fields.items()))
+
+
+def scenario_key(config, extras):
+    scalars = all(isinstance(v, float) for v in extras.values())
+    return tuple(sorted(set(extras))) + (config, scalars)

@@ -1,0 +1,21 @@
+# repro-fixture: rule=DT103 count=1 path=repro/workloads/example.py
+# ruff: noqa
+"""Regression: the pre-fix ``workloads/registry.workload_id`` body.
+
+``_non_default_params`` happened to return a sorted dict, so the join
+below was *accidentally* ordered — one upstream refactor away from
+non-deterministic workload ids baked into checkpoint paths.  The fix
+sorts at the point of use; this snippet keeps the original shape so the
+rule guards against its return.
+"""
+
+
+def _format_scalar(value):
+    return repr(value)
+
+
+def workload_id(name, params):
+    if not params:
+        return name
+    body = ",".join(f"{k}={_format_scalar(v)}" for k, v in params.items())
+    return f"{name}:{body}"

@@ -1,0 +1,11 @@
+# repro-fixture: rule=DT104 count=2 path=repro/algorithms/example.py
+# ruff: noqa
+"""Known-bad: inline tolerance literals in a fit check (the PR 3 bug
+class: ad-hoc slack drifting away from capacity_tolerance())."""
+
+
+def elem_fits(req, cap):
+    if (req <= cap + 1e-12).all():
+        return True
+    slack = cap * 1e-9
+    return bool((req - cap <= slack).all())

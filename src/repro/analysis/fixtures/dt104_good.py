@@ -1,0 +1,17 @@
+# repro-fixture: rule=DT104 count=0 path=repro/algorithms/example.py
+# ruff: noqa
+"""Known-good: named tolerance constants; ordinary floats untouched."""
+
+STRICT_FIT_ATOL = 1e-12
+_LOCAL_EPS = 1e-9
+
+
+class Packer:
+    DEFAULT_SLACK = 1e-6
+
+    def fits(self, req, cap):
+        return bool((req <= cap + STRICT_FIT_ATOL).all())
+
+
+def half_yield(y):
+    return 0.5 * y + _LOCAL_EPS

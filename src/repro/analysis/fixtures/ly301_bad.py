@@ -1,0 +1,10 @@
+# repro-fixture: rule=LY301 count=2 path=repro/sharing/example.py
+# ruff: noqa
+"""Known-bad: prints from library code."""
+
+print("module import side effect")
+
+
+def mitigate(errors):
+    print(f"mitigating {len(errors)} errors")
+    return sorted(errors)

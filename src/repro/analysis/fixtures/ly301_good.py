@@ -1,0 +1,22 @@
+# repro-fixture: rule=LY301 count=0 path=repro/sharing/example.py
+# ruff: noqa
+"""Known-good: entry points, stderr diagnostics, __main__ guards."""
+import sys
+
+
+def mitigate(errors):
+    print(f"{len(errors)} errors", file=sys.stderr)
+    return sorted(errors)
+
+
+def main(argv):
+    print(mitigate(argv))
+    return 0
+
+
+def _cmd_report(args):
+    print(args)
+
+
+if __name__ == "__main__":
+    print(main(sys.argv[1:]))

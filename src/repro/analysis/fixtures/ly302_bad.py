@@ -1,0 +1,13 @@
+# repro-fixture: rule=LY302 count=2 path=repro/service/example.py
+# ruff: noqa
+"""Known-bad: hand-rolled metric stores (the pre-PR 7 shape)."""
+from collections import defaultdict
+
+
+class Handler:
+    def __init__(self):
+        self.metrics = {"requests": 0, "errors": 0}
+
+    def reset(self):
+        request_counters = defaultdict(int)
+        return request_counters

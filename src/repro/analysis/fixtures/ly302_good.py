@@ -1,0 +1,15 @@
+# repro-fixture: rule=LY302 count=0 path=repro/service/example.py
+# ruff: noqa
+"""Known-good: counters live in the shared obs registry."""
+from repro import obs
+
+
+class Handler:
+    def __init__(self):
+        self.registry = obs.MetricsRegistry()
+        self.requests = self.registry.counter(
+            "repro_requests_total", "HTTP requests handled.", ("endpoint",))
+        self.results = {}  # plain state, not a metrics store
+
+    def handle(self, endpoint):
+        self.requests.labels(endpoint=endpoint).inc()

@@ -1,0 +1,15 @@
+# repro-fixture: rule=LY303 count=0 path=repro/kernels/example.py
+# ruff: noqa
+"""Known-good: stdlib + numpy + intra-package imports only."""
+import ctypes
+import os
+
+import numpy as np
+
+from . import _loops
+from .api import KernelBackend
+
+
+def fill_bins(loads, caps):
+    del ctypes, os, _loops, KernelBackend
+    return np.all(loads <= caps, axis=1)

@@ -1,0 +1,122 @@
+"""The mypy strict-typing ratchet.
+
+``mypy-ratchet.txt`` (repo root) lists the modules that are fully typed
+and must pass ``mypy --strict`` forever — the ratchet only turns one
+way: once a module is listed, a regression fails CI; untyped modules are
+simply not listed yet (and so cannot regress the gate).  To lock a newly
+typed module in, add its path to the ratchet file.
+
+Run with ``python -m repro.analysis.ratchet`` (CI does, with
+``--require``).  mypy is an optional dev dependency: without
+``--require``/``REPRO_REQUIRE_MYPY`` the runner *skips* (exit 0, with a
+message) when mypy is not importable, so the check degrades gracefully
+on minimal installs.
+
+Exit codes match ``repro check``: 0 clean or skipped, 1 type errors,
+2 internal error (missing ratchet file, mypy crash).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["DEFAULT_RATCHET", "load_ratchet", "main", "mypy_available"]
+
+DEFAULT_RATCHET = "mypy-ratchet.txt"
+
+#: Strictness flags applied to every ratcheted module.  Full
+#: ``--strict``; imports outside the ratcheted set are followed
+#: silently so an untyped neighbour doesn't fail a typed module's run.
+MYPY_FLAGS = (
+    "--strict",
+    "--no-warn-unused-ignores",
+    "--follow-imports=silent",
+    "--no-error-summary",
+)
+
+
+def load_ratchet(path: str | Path) -> list[str]:
+    """Module paths from the ratchet file (comments/blank lines skipped)."""
+    text = Path(path).read_text(encoding="utf-8")
+    entries: list[str] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            entries.append(line)
+    return entries
+
+
+def mypy_available() -> bool:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    require = os.environ.get("REPRO_REQUIRE_MYPY", "") not in ("", "0")
+    ratchet = DEFAULT_RATCHET
+    rest: list[str] = []
+    while argv:
+        arg = argv.pop(0)
+        if arg == "--require":
+            require = True
+        elif arg == "--ratchet":
+            if not argv:
+                print("ratchet: --ratchet needs a path", file=sys.stderr)
+                return 2
+            ratchet = argv.pop(0)
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            rest.append(arg)
+    if rest:
+        print(f"ratchet: unknown arguments {rest}", file=sys.stderr)
+        return 2
+
+    try:
+        entries = load_ratchet(ratchet)
+    except OSError as exc:
+        print(f"ratchet: cannot read {ratchet}: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"ratchet: {ratchet} lists no modules", file=sys.stderr)
+        return 2
+    missing = [e for e in entries if not Path(e).exists()]
+    if missing:
+        print("ratchet: listed modules do not exist: "
+              + ", ".join(missing), file=sys.stderr)
+        return 2
+
+    if not mypy_available():
+        if require:
+            print("ratchet: mypy is required (--require/REPRO_REQUIRE_MYPY)"
+                  " but not installed", file=sys.stderr)
+            return 2
+        print(f"ratchet: mypy not installed; skipping {len(entries)} "
+              "ratcheted modules (pip install mypy to run)")
+        return 0
+
+    cmd = [sys.executable, "-m", "mypy", *MYPY_FLAGS, *entries]
+    proc = subprocess.run(cmd)
+    if proc.returncode == 0:
+        print(f"ratchet: OK ({len(entries)} modules strict-typed)")
+        return 0
+    if proc.returncode == 1:
+        print(f"ratchet: FAILED — a ratcheted module regressed "
+              f"(see errors above); the ratchet only turns one way",
+              file=sys.stderr)
+        return 1
+    print(f"ratchet: mypy exited {proc.returncode}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Report renderers for ``repro check``.
+
+Two formats:
+
+* ``text`` — one ``path:line:col RULE message`` line per finding,
+  grouped notes for suppressed/unused counts; for terminals and CI logs.
+* ``json`` — a versioned, schema-stable document for the nightly
+  artifact and downstream tooling.  Key order and field names are pinned
+  by ``tests/analysis/test_reporters.py``; bump ``SCHEMA_VERSION`` when
+  they change.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import CheckResult, Finding, Rule
+
+__all__ = ["SCHEMA_VERSION", "render_json", "render_text"]
+
+SCHEMA_VERSION = 1
+
+
+def _finding_dict(finding: "Finding", suppressed: bool) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "suppressed": suppressed,
+    }
+
+
+def render_json(result: "CheckResult", rules: tuple["Rule", ...],
+                strict: bool = False) -> str:
+    """The machine-readable report (sorted, stable key order)."""
+    findings = [_finding_dict(f, False) for f in result.findings]
+    findings += [_finding_dict(f, True) for f in result.suppressed]
+    findings.sort(key=lambda d: (d["path"], d["line"], d["col"], d["rule"]))
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "strict": strict,
+        "rules": [{"id": r.id, "name": r.name, "summary": r.summary}
+                  for r in rules],
+        "findings": findings,
+        "unused_suppressions": [_finding_dict(f, False)
+                                for f in result.unused_suppressions],
+        "counts": {
+            "files": result.files,
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "unused_suppressions": len(result.unused_suppressions),
+        },
+        "exit_code": result.exit_code(strict=strict),
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)
+
+
+def render_text(result: "CheckResult", rules: tuple["Rule", ...],
+                strict: bool = False, verbose: bool = False) -> str:
+    """The human-readable report."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(f"{finding.location()} {finding.rule} "
+                     f"{finding.message}")
+    if strict or verbose:
+        for finding in result.unused_suppressions:
+            lines.append(f"{finding.location()} {finding.rule} "
+                         f"{finding.message}")
+    if verbose:
+        for finding in result.suppressed:
+            lines.append(f"{finding.location()} {finding.rule} "
+                         f"[suppressed] {finding.message}")
+    n = len(result.findings)
+    unused = len(result.unused_suppressions)
+    summary = (f"repro check: {result.files} files, "
+               f"{len(rules)} rules, {n} finding{'s' if n != 1 else ''}")
+    if result.suppressed:
+        summary += f", {len(result.suppressed)} suppressed"
+    if unused and (strict or verbose):
+        summary += f", {unused} unused suppression{'s' if unused != 1 else ''}"
+    lines.append(summary)
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Rule registry: importing this package registers every shipped rule.
+
+Three families encode the repo's real invariants:
+
+* determinism (``DT1xx``) — seeded RNG, monotonic clocks, ordered
+  fingerprints, named tolerances;
+* concurrency (``CC2xx``) — service lock discipline, picklable pool
+  workers;
+* layering (``LY3xx``) — no print in library code, metrics through the
+  obs registry, leaf kernels.
+
+Writing a new rule: subclass :class:`repro.analysis.core.Rule`, decorate
+with :func:`repro.analysis.core.register_rule`, import the module here,
+and add a good/bad fixture pair under ``analysis/fixtures/`` — the
+self-test (``repro check --selftest``) fails until the bad fixture trips
+exactly the new rule.
+"""
+
+from . import concurrency, determinism, layering
+
+__all__ = ["concurrency", "determinism", "layering"]

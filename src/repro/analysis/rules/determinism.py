@@ -1,0 +1,274 @@
+"""Determinism rules (DT1xx).
+
+The reproduction's headline guarantees — bit-identical kernel backends,
+byte-identical shard merges and daemon/library replays, stable checkpoint
+fingerprints — all reduce to a handful of source-level disciplines:
+
+* every random draw flows through :mod:`repro.util.rng` seeds
+  (``DT101``);
+* solver/kernel/experiment code never reads the wall clock — monotonic
+  timing only, wall timestamps belong to the obs layer (``DT102``);
+* fingerprint/key constructors never iterate unordered containers
+  (``DT103``);
+* feasibility slack comes from the named tolerance constants, never
+  from inline float literals — the exact bug class the PR 3 tolerance
+  unification fixed by hand (``DT104``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    dotted_name,
+    parent_map,
+    register_rule,
+    walk_calls,
+)
+
+__all__ = ["GlobalRngRule", "WallClockRule", "UnorderedFingerprintRule",
+           "ToleranceLiteralRule"]
+
+#: numpy legacy global-state samplers (``np.random.<fn>`` uses the shared
+#: module RNG — unseeded and order-dependent across the process).
+_NP_GLOBAL_SAMPLERS = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "exponential", "poisson", "beta", "gamma",
+    "lognormal", "pareto",
+})
+
+#: The one module allowed to touch RNG construction primitives.
+_RNG_HOME = "repro/util/rng.py"
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    id = "DT101"
+    name = "no-global-rng"
+    summary = ("random draws must flow through repro.util.rng seeds: no "
+               "`random` module, no np.random global samplers, no unseeded "
+               "default_rng() outside util/rng.py")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.is_file(_RNG_HOME):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield self.finding(
+                            module, node,
+                            "stdlib `random` is process-global state; "
+                            "seed a numpy Generator via repro.util.rng")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "random":
+                    yield self.finding(
+                        module, node,
+                        "stdlib `random` is process-global state; "
+                        "seed a numpy Generator via repro.util.rng")
+        for call, name in walk_calls(module.tree):
+            parts = name.split(".")
+            if len(parts) >= 3 and parts[-2] == "random" \
+                    and parts[-3] in ("np", "numpy") \
+                    and parts[-1] in _NP_GLOBAL_SAMPLERS:
+                yield self.finding(
+                    module, call,
+                    f"np.random.{parts[-1]}() samples the process-global "
+                    "RNG; derive a Generator from repro.util.rng instead")
+            elif parts[-1] == "default_rng" and self._unseeded(call):
+                yield self.finding(
+                    module, call,
+                    "default_rng() without a seed is nondeterministic; "
+                    "thread a seed or use repro.util.rng.as_generator")
+
+    @staticmethod
+    def _unseeded(call: ast.Call) -> bool:
+        if not call.args and not call.keywords:
+            return True
+        first = call.args[0] if call.args else None
+        return (isinstance(first, ast.Constant) and first.value is None)
+
+
+#: Wall-clock reads.  ``time.time`` and friends jitter between runs and
+#: machines; solver/kernel/experiment code times with ``time.monotonic``/
+#: ``time.perf_counter`` and leaves wall timestamps to the obs layer.
+_WALL_CLOCK = ("time.time", "time.time_ns")
+_DATETIME_TAILS = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "DT102"
+    name = "no-wall-clock"
+    summary = ("no time.time()/datetime.now() outside repro/obs/ — "
+               "monotonic or obs clock only in solver/kernel/experiment "
+               "paths")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.in_package("obs"):
+                continue
+            for call, name in walk_calls(module.tree):
+                parts = name.split(".")
+                if name in _WALL_CLOCK:
+                    yield self.finding(
+                        module, call,
+                        f"{name}() is wall-clock; use time.monotonic()/"
+                        "time.perf_counter(), or emit via repro.obs")
+                elif parts[-1] in _DATETIME_TAILS and (
+                        "datetime" in parts[:-1] or "date" in parts[:-1]):
+                    yield self.finding(
+                        module, call,
+                        f"{name}() is wall-clock; use time.monotonic()/"
+                        "time.perf_counter(), or emit via repro.obs")
+
+
+#: Functions whose *output* becomes a checkpoint identity.  Iteration
+#: order inside them must be an explicit, local property.
+_KEY_BUILDER = re.compile(
+    r"(^|_)(fingerprint|workload_id|scenario_key|task_keys?)$")
+
+#: Order-insensitive consumers: reducing through these launders an
+#: unordered iteration into a deterministic value.
+_ORDER_FREE = frozenset({"sorted", "all", "any", "sum", "min", "max",
+                         "len", "frozenset", "set"})
+
+_UNORDERED_METHODS = frozenset({"items", "keys", "values"})
+
+
+@register_rule
+class UnorderedFingerprintRule(Rule):
+    id = "DT103"
+    name = "ordered-fingerprints"
+    summary = ("fingerprint/workload_id/scenario_key/task_key builders "
+               "must not iterate dicts or sets without sorted() — "
+               "checkpoint identities depend on the result")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            for func in ast.walk(module.tree):
+                if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                        and _KEY_BUILDER.search(func.name):
+                    yield from self._check_builder(module, func)
+
+    def _check_builder(self, module: Module,
+                       func: ast.FunctionDef) -> Iterator[Finding]:
+        parents = parent_map(func)
+        for node in ast.walk(func):
+            bad = self._unordered_source(node)
+            if bad is None:
+                continue
+            if self._reduced_order_free(node, parents):
+                continue
+            yield self.finding(
+                module, node,
+                f"{func.name}() iterates {bad} — wrap in sorted(); "
+                "the result feeds a checkpoint identity")
+
+    @staticmethod
+    def _unordered_source(node: ast.AST) -> str | None:
+        """A description when *node* produces unordered iteration."""
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name and name.split(".")[-1] in _UNORDERED_METHODS \
+                    and "." in name:
+                return f"{name}()"
+            if name == "set":
+                return "set(...)"
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        return None
+
+    @staticmethod
+    def _reduced_order_free(node: ast.AST,
+                            parents: dict[ast.AST, ast.AST]) -> bool:
+        """True when an order-insensitive reducer consumes *node*."""
+        seen = 0
+        current = parents.get(node)
+        while current is not None and seen < 8:
+            if isinstance(current, ast.Call):
+                name = dotted_name(current.func)
+                if name and name.split(".")[-1] in _ORDER_FREE:
+                    return True
+            if isinstance(current, (ast.stmt,)):
+                break
+            current = parents.get(current)
+            seen += 1
+        return False
+
+
+#: Files allowed to define the numerical slack used by feasibility
+#: checks; everything else imports the named constants.
+_TOLERANCE_HOMES = frozenset({
+    "repro/core/resources.py",                 # FEASIBILITY_RTOL/ATOL/...
+    "repro/algorithms/vector_packing/state.py",  # capacity_tolerance()
+})
+
+#: Anything this small in magnitude is a tolerance, not data.
+_TOLERANCE_CEILING = 1e-5
+
+_CONST_NAME = re.compile(r"^_?[A-Z][A-Z0-9_]*$")
+
+
+@register_rule
+class ToleranceLiteralRule(Rule):
+    id = "DT104"
+    name = "named-tolerances"
+    summary = ("no inline float-tolerance literals outside "
+               "capacity_tolerance()/the FEASIBILITY_* constants — name "
+               "the constant or import the shared one")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.relpath in _TOLERANCE_HOMES:
+                continue
+            sanctioned = self._named_constant_literals(module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Constant) \
+                        and isinstance(node.value, float) \
+                        and 0.0 < abs(node.value) <= _TOLERANCE_CEILING \
+                        and id(node) not in sanctioned:
+                    yield self.finding(
+                        module, node,
+                        f"inline tolerance literal {node.value!r}; bind it "
+                        "to a named UPPER_CASE constant or import "
+                        "FEASIBILITY_RTOL/capacity_tolerance()")
+
+    @staticmethod
+    def _named_constant_literals(tree: ast.Module) -> set[int]:
+        """ids of Constant nodes sanctioned by a named-constant binding.
+
+        A literal may appear in the value of a module- or class-level
+        assignment whose targets are all UPPER_CASE names: that *is* the
+        "name your tolerance" discipline the rule enforces.
+        """
+        sanctioned: set[int] = set()
+        scopes: list[ast.AST] = [tree]
+        scopes += [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+        for scope in scopes:
+            for stmt in getattr(scope, "body", ()):
+                targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets = [stmt.target]
+                else:
+                    continue
+                if all(isinstance(t, ast.Name) and _CONST_NAME.match(t.id)
+                       for t in targets):
+                    value = stmt.value
+                    assert value is not None
+                    sanctioned.update(id(n) for n in ast.walk(value)
+                                      if isinstance(n, ast.Constant))
+        return sanctioned

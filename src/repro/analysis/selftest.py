@@ -1,0 +1,81 @@
+"""Self-test corpus runner: every bad fixture must trip exactly its rule.
+
+Each file under ``analysis/fixtures/`` declares its contract in a
+pragma::
+
+    # repro-fixture: rule=DT104 count=2 path=repro/algorithms/example.py
+
+``repro check --selftest`` runs *all* rules over each fixture (under its
+virtual path) and fails when
+
+* the declared rule fires a different number of times than ``count``, or
+* any *other* rule fires at all (fixtures must be surgical — a bad
+  snippet that trips two rules can't prove either one).
+
+This is the executable spec for the rule set: deleting a rule's logic
+makes its bad fixture report 0 findings and the self-test fail, so CI
+catches a silently-disabled rule just like a regression.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from .core import EngineError, all_rules, load_module, run_check
+
+__all__ = ["fixture_dir", "iter_fixtures", "run_selftest"]
+
+
+def fixture_dir() -> Path:
+    return Path(__file__).resolve().parent / "fixtures"
+
+
+def iter_fixtures() -> Iterator[Path]:
+    root = fixture_dir()
+    if not root.is_dir():  # pragma: no cover - packaging error
+        raise EngineError(f"fixture corpus missing: {root}")
+    yield from sorted(root.glob("*.py"))
+
+
+def run_selftest() -> list[str]:
+    """Run the corpus; return human-readable failures (empty = pass)."""
+    failures: list[str] = []
+    rules = all_rules()
+    known = {rule.id for rule in rules}
+    seen_rules: set[str] = set()
+    fixtures = list(iter_fixtures())
+    if not fixtures:
+        return ["fixture corpus is empty"]
+    for path in fixtures:
+        result = run_check([path], rules=rules)
+        pragma = load_module(path).fixture
+        rule_id = pragma.get("rule", "").upper()
+        if rule_id not in known:
+            failures.append(f"{path.name}: pragma names unknown rule "
+                            f"{rule_id or '<missing>'!r}")
+            continue
+        try:
+            expected = int(pragma.get("count", ""))
+        except ValueError:
+            failures.append(f"{path.name}: pragma count is not an integer")
+            continue
+        seen_rules.add(rule_id)
+        got = [f for f in result.findings if f.rule == rule_id]
+        others = [f for f in result.findings if f.rule != rule_id]
+        if len(got) != expected:
+            failures.append(
+                f"{path.name}: expected {expected} {rule_id} finding(s), "
+                f"got {len(got)}"
+                + (": " + "; ".join(f"line {f.line}" for f in got)
+                   if got else ""))
+        for other in others:
+            failures.append(
+                f"{path.name}: unexpected {other.rule} at line "
+                f"{other.line}: {other.message} (fixtures must trip "
+                "exactly their own rule)")
+    uncovered = sorted(known - seen_rules)
+    if uncovered:
+        failures.append(
+            "rules with no fixture coverage: " + ", ".join(uncovered))
+    return failures

@@ -220,6 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="one JSON object per log line (with the "
                          "request's trace id) instead of text")
 
+    from .analysis.cli import add_check_arguments
+    add_check_arguments(sub)
+
     ob = sub.add_parser("obs", help="observability tools (trace analysis)")
     obs_sub = ob.add_subparsers(dest="obs_command", required=True)
     rep = obs_sub.add_parser(
@@ -680,6 +683,9 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_merge(args, parser)
     elif args.command == "obs":
         _cmd_obs(args, parser)
+    elif args.command == "check":
+        from .analysis.cli import run_cli
+        return run_cli(args)
     else:
         _COMMANDS[args.command](args)
     return 0

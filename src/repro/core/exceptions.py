@@ -8,6 +8,16 @@ violations.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "DimensionMismatchError",
+    "InvalidCapacityError",
+    "InvalidServiceError",
+    "InvalidAllocationError",
+    "InfeasibleProblemError",
+    "SolverError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

@@ -25,6 +25,7 @@ import numpy as np
 
 from .allocation import Allocation
 from .exceptions import InvalidServiceError
+from .resources import STRICT_FIT_ATOL
 from .instance import ProblemInstance
 from .service import ServiceArray
 
@@ -37,7 +38,7 @@ def _check_weights(weights: np.ndarray, count: int) -> np.ndarray:
         raise InvalidServiceError(
             f"need one weight per service: got {weights.shape}, "
             f"expected ({count},)")
-    if (weights <= 0).any() or (weights > 1.0 + 1e-12).any():
+    if (weights <= 0).any() or (weights > 1.0 + STRICT_FIT_ATOL).any():
         raise InvalidServiceError("priorities must lie in (0, 1]")
     return weights
 

@@ -18,7 +18,14 @@ import numpy as np
 
 from .exceptions import DimensionMismatchError, InvalidCapacityError
 
-__all__ = ["VectorPair", "as_vector", "check_same_dimensions"]
+__all__ = [
+    "FEASIBILITY_ATOL",
+    "FEASIBILITY_RTOL",
+    "STRICT_FIT_ATOL",
+    "VectorPair",
+    "as_vector",
+    "check_same_dimensions",
+]
 
 # Numerical slack used throughout feasibility checks.  Capacity comparisons
 # in the packing heuristics and allocation validation allow this much
@@ -26,6 +33,14 @@ __all__ = ["VectorPair", "as_vector", "check_same_dimensions"]
 # by the binary-search yield driver) are not rejected for round-off reasons.
 FEASIBILITY_RTOL = 1e-9
 FEASIBILITY_ATOL = 1e-9
+
+# Absolute-only fit slack of the seed-faithful paths: the greedy/rounding/
+# sharing element-fit checks, the yield-domain bound, and the incremental
+# best-fit all ship with the seed implementation's 1e-12.  Deliberately
+# tighter than the scaled ``capacity_tolerance()`` used by the packing
+# kernels — widening it would shift golden-file results at feasibility
+# boundaries, so the two tolerances stay distinct named constants.
+STRICT_FIT_ATOL = 1e-12
 
 
 def as_vector(values: Sequence[float] | np.ndarray | float, dims: int | None = None) -> np.ndarray:

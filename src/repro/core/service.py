@@ -18,7 +18,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from .exceptions import InvalidServiceError
-from .resources import VectorPair, as_vector
+from .resources import STRICT_FIT_ATOL, VectorPair, as_vector
 
 __all__ = ["Service", "ServiceArray"]
 
@@ -56,7 +56,7 @@ class Service:
 
     def allocation_at_yield(self, y: float) -> VectorPair:
         """Resource allocation ``(r^e + y n^e, r^a + y n^a)`` for yield *y*."""
-        if not 0.0 <= y <= 1.0 + 1e-12:
+        if not 0.0 <= y <= 1.0 + STRICT_FIT_ATOL:
             raise InvalidServiceError(f"yield must lie in [0, 1], got {y}")
         return VectorPair(
             self.requirements.elementary + y * self.needs.elementary,

@@ -22,13 +22,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.node import NodeArray
+from ..core.resources import STRICT_FIT_ATOL
 from ..kernels import get_backend
 
 __all__ = ["INCREMENTAL_TOL", "elem_fit_table", "rebuild_loads",
            "best_fit_newcomers"]
 
-#: Fit slack of the incremental (non-epoch) best-fit placements.
-INCREMENTAL_TOL = 1e-12
+#: Fit slack of the incremental (non-epoch) best-fit placements —
+#: the seed-faithful strict slack (see ``core.resources``).
+INCREMENTAL_TOL = STRICT_FIT_ATOL
 
 
 def elem_fit_table(req_elem: np.ndarray, nodes: NodeArray) -> np.ndarray:

@@ -33,6 +33,7 @@ from .. import obs
 from ..algorithms.base import NamedAlgorithm
 from ..core.instance import ProblemInstance
 from ..core.node import NodeArray
+from ..core.resources import FEASIBILITY_ATOL, FEASIBILITY_RTOL
 from ..core.service import ServiceArray
 from ..sharing.adaptive import AdaptiveThreshold
 from ..sharing.baseline import evaluate_actual_yields
@@ -352,7 +353,7 @@ class DynamicSimulator:
             if self.validate_loads:
                 expected = self._rebuild_loads()
                 if not np.allclose(self._loads, expected,
-                                   rtol=1e-9, atol=1e-9):
+                                   rtol=FEASIBILITY_RTOL, atol=FEASIBILITY_ATOL):
                     raise AssertionError(
                         f"incremental loads drifted at t={t}: "
                         f"max |Δ|={np.abs(self._loads - expected).max()}")

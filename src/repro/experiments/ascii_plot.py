@@ -13,6 +13,10 @@ __all__ = ["line_chart", "sparkline"]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
 
+# A data range narrower than this renders as flat: widen it to a unit span
+# so every point lands on one row/column instead of dividing by ~0.
+_FLAT_RANGE = 1e-12
+
 
 def sparkline(values: Sequence[float], lo: float | None = None,
               hi: float | None = None) -> str:
@@ -52,9 +56,9 @@ def line_chart(series: Mapping[str, Mapping[float, float]],
         return "(no data)"
     x_lo, x_hi = min(xs), max(xs)
     y_lo, y_hi = min(ys), max(ys)
-    if y_hi - y_lo < 1e-12:
+    if y_hi - y_lo < _FLAT_RANGE:
         y_hi = y_lo + 1.0
-    if x_hi - x_lo < 1e-12:
+    if x_hi - x_lo < _FLAT_RANGE:
         x_hi = x_lo + 1.0
 
     grid = [[" "] * width for _ in range(height)]

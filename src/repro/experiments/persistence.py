@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import IO, Iterable, Iterator, Optional, Sequence
+from typing import IO, Callable, Iterable, Iterator, Optional, Sequence
 
 from .. import obs
 from ..workloads import (
@@ -139,7 +139,7 @@ def _durable_append(fh: IO[str], line: str) -> None:
         os.fsync(fh.fileno())
 
 
-def _rewrite_keeping(path: str, keep) -> None:
+def _rewrite_keeping(path: str, keep: Callable[[dict], bool]) -> None:
     """Rewrite *path* with only the records matching *keep* (a predicate).
 
     Used by the ``resume=False`` stores: "truncate" means dropping *this
@@ -321,7 +321,7 @@ class ResultStore:
     def __enter__(self) -> "ResultStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -400,7 +400,7 @@ class JsonlCheckpoint:
     def __enter__(self) -> "JsonlCheckpoint":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -516,7 +516,7 @@ def merge_checkpoints(paths: Sequence[str], output: str) -> CompactStats:
 
 
 def fingerprinted_cache(ckpt: Optional[JsonlCheckpoint], fingerprint: str,
-                        decode) -> dict:
+                        decode: Callable[[list, object], object]) -> dict:
     """Rebuild a ``parallel_imap_cached`` cache from a checkpoint.
 
     Keys follow the ``[fingerprint, index]`` convention; only this

@@ -26,7 +26,7 @@ of it.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -39,14 +39,17 @@ class KernelBackend:
     #: Registry name (``numpy``, ``numba``, ``native``, ``loops``).
     name: str = "?"
 
-    def first_fit_2d(self, state, item_order, bin_order) -> bool:
+    def first_fit_2d(self, state: Any, item_order: np.ndarray,
+                     bin_order: np.ndarray) -> bool:
         raise NotImplementedError
 
-    def best_fit(self, state, item_order,
+    def best_fit(self, state: Any, item_order: np.ndarray,
                  by_remaining_capacity: bool) -> bool:
         raise NotImplementedError
 
-    def permutation_pack_2d(self, state, codes_for, bin_order,
+    def permutation_pack_2d(self, state: Any,
+                            codes_for: Callable[[tuple], np.ndarray],
+                            bin_order: np.ndarray,
                             by_remaining: bool) -> bool:
         raise NotImplementedError
 
@@ -78,7 +81,7 @@ class ArrayKernelBackend(KernelBackend):
     native backend.
     """
 
-    def __init__(self, name: str, kernels,
+    def __init__(self, name: str, kernels: Any,
                  warmup: Optional[Callable[[], None]] = None):
         self.name = name
         self._k = kernels
@@ -86,7 +89,8 @@ class ArrayKernelBackend(KernelBackend):
             warmup()
 
     # -- packers -------------------------------------------------------
-    def first_fit_2d(self, state, item_order, bin_order) -> bool:
+    def first_fit_2d(self, state: Any, item_order: np.ndarray,
+                     bin_order: np.ndarray) -> bool:
         unplaced = self._k.ff_fill_2d(
             state.item_agg, state.elem_ok, _i64(item_order),
             _i64(bin_order), state.loads, state.load_sum,
@@ -94,7 +98,7 @@ class ArrayKernelBackend(KernelBackend):
         state.unplaced_count = int(unplaced)
         return unplaced == 0
 
-    def best_fit(self, state, item_order,
+    def best_fit(self, state: Any, item_order: np.ndarray,
                  by_remaining_capacity: bool) -> bool:
         ok = self._k.bf_pack(
             state.item_agg, state.item_agg_sum, state.elem_ok,
@@ -104,7 +108,9 @@ class ArrayKernelBackend(KernelBackend):
         state.unplaced_count = int(np.count_nonzero(state.assignment < 0))
         return bool(ok)
 
-    def permutation_pack_2d(self, state, codes_for, bin_order,
+    def permutation_pack_2d(self, state: Any,
+                            codes_for: Callable[[tuple], np.ndarray],
+                            bin_order: np.ndarray,
                             by_remaining: bool) -> bool:
         # The packed codes are a total order (they embed the item-sort
         # tie-break rank), so a single global argsort per ranking replaces
@@ -121,7 +127,8 @@ class ArrayKernelBackend(KernelBackend):
         return unplaced == 0
 
     # -- probe factory -------------------------------------------------
-    def affine_fit_thresholds(self, req, need, cap) -> np.ndarray:
+    def affine_fit_thresholds(self, req: np.ndarray, need: np.ndarray,
+                              cap: np.ndarray) -> np.ndarray:
         req = np.ascontiguousarray(req, dtype=np.float64)
         need = np.ascontiguousarray(need, dtype=np.float64)
         cap = np.ascontiguousarray(cap, dtype=np.float64)
@@ -130,8 +137,10 @@ class ArrayKernelBackend(KernelBackend):
         return out
 
     # -- dynamic simulator ---------------------------------------------
-    def incremental_best_fit(self, req_agg, elem_fit, loads, agg,
-                             cap_tol) -> np.ndarray:
+    def incremental_best_fit(self, req_agg: np.ndarray,
+                             elem_fit: np.ndarray,
+                             loads: np.ndarray, agg: np.ndarray,
+                             cap_tol: np.ndarray) -> np.ndarray:
         out = np.empty(req_agg.shape[0], dtype=np.int64)
         self._k.incremental_best_fit(
             np.ascontiguousarray(req_agg, dtype=np.float64),

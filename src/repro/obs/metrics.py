@@ -23,7 +23,8 @@ import math
 import re
 import threading
 import time
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterator, Optional, Sequence, Tuple,
+                    Type, TypeVar)
 
 __all__ = [
     "Counter",
@@ -35,6 +36,8 @@ __all__ = [
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_F = TypeVar("_F", bound="_Family")
 
 #: Solve latencies at this scale run ~1 ms-1 s; log-ish spacing in
 #: seconds, matching Prometheus convention for ``*_seconds`` metrics.
@@ -85,7 +88,7 @@ class _Family:
         self._children: Dict[Tuple[str, ...], "_Family"] = {}
         self._lock = threading.Lock()
 
-    def labels(self, **labels):
+    def labels(self, **labels: object) -> "_Family":
         """The child metric for this label set (created on first use)."""
         if set(labels) != set(self.label_names):
             raise ValueError(
@@ -99,16 +102,22 @@ class _Family:
                 self._children[key] = child
             return child
 
-    def _make_child(self):
+    def _make_child(self) -> "_Family":
         raise NotImplementedError
 
-    def children(self) -> dict:
+    def _render_series(self, name: str,
+                       label_pairs: Tuple[Tuple[str, str], ...]
+                       ) -> Iterator[str]:
+        raise NotImplementedError
+
+    def children(self) -> Dict[Tuple[str, ...], "_Family"]:
         """Snapshot of label-value tuple → child metric (labelled
         families only; unlabelled families have no children)."""
         with self._lock:
             return dict(self._children)
 
-    def _samples(self):
+    def _samples(self) -> Iterator[
+            Tuple[Tuple[Tuple[str, str], ...], "_Family"]]:
         """Yield ``(label_pairs, child)`` for every series."""
         if self.label_names:
             with self._lock:
@@ -150,7 +159,9 @@ class Counter(_Family):
         with self._lock:
             return self._value
 
-    def _render_series(self, name, label_pairs):
+    def _render_series(self, name: str,
+                       label_pairs: Tuple[Tuple[str, str], ...]
+                       ) -> Iterator[str]:
         yield (f"{name}{_label_suffix(label_pairs)} "
                f"{_format_value(self.value)}")
 
@@ -192,7 +203,9 @@ class Gauge(_Family):
         with self._lock:
             return self._value
 
-    def _render_series(self, name, label_pairs):
+    def _render_series(self, name: str,
+                       label_pairs: Tuple[Tuple[str, str], ...]
+                       ) -> Iterator[str]:
         yield (f"{name}{_label_suffix(label_pairs)} "
                f"{_format_value(self.value)}")
 
@@ -244,7 +257,9 @@ class Histogram(_Family):
         with self._lock:
             return self._sum
 
-    def _render_series(self, name, label_pairs):
+    def _render_series(self, name: str,
+                       label_pairs: Tuple[Tuple[str, str], ...]
+                       ) -> Iterator[str]:
         with self._lock:
             counts = list(self._bucket_counts)
             total = self._count
@@ -269,12 +284,14 @@ class MetricsRegistry:
     without coordinating ownership.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._families: Dict[str, _Family] = {}
         self._lock = threading.Lock()
         self.created_at = time.time()
 
-    def _get_or_create(self, cls, name, help_text, label_names, **kw):
+    def _get_or_create(self, cls: Type[_F], name: str, help_text: str,
+                       label_names: Sequence[str],
+                       **kw: Sequence[float]) -> _F:
         with self._lock:
             family = self._families.get(name)
             if family is not None:
@@ -283,7 +300,7 @@ class MetricsRegistry:
                         f"metric {name!r} already registered as "
                         f"{family.kind}, not {cls.kind}")
                 return family
-            family = cls(name, help_text, label_names, **kw)
+            family = cls(name, help_text, label_names, **kw)  # type: ignore[call-arg]
             self._families[name] = family
             return family
 

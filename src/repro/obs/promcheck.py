@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import re
 import sys
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["check_prometheus_text", "main"]
 
@@ -145,7 +145,7 @@ def check_prometheus_text(text: str) -> List[str]:
     return errors
 
 
-def main(argv=None) -> int:
+def main(argv: "Sequence[str] | None" = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if len(argv) != 1:
         print("usage: python -m repro.obs.promcheck METRICS_FILE",

@@ -99,7 +99,7 @@ def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     for row in rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
-    def fmt(row):
+    def fmt(row: Sequence[str]) -> str:
         return "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
     lines = [fmt(headers), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in rows)

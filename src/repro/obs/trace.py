@@ -185,7 +185,7 @@ class Span:
         self._t0 = 0.0
         self._t1 = 0.0
 
-    def annotate(self, **tags) -> "Span":
+    def annotate(self, **tags: object) -> "Span":
         """Merge *tags* into the record written at exit."""
         if self.tags is None:
             self.tags = tags
@@ -211,7 +211,7 @@ class Span:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         self._t1 = time.perf_counter()
         if self._token is not None:
             _current.reset(self._token)
@@ -245,20 +245,20 @@ class _NoopSpan:
     duration = 0.0
     name = trace_id = span_id = parent_id = tags = None
 
-    def annotate(self, **tags) -> "_NoopSpan":
+    def annotate(self, **tags: object) -> "_NoopSpan":
         return self
 
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
 _NOOP_SPAN = _NoopSpan()
 
 
-def span(name: str, tags: Optional[dict] = None):
+def span(name: str, tags: Optional[dict] = None) -> "Span | _NoopSpan":
     """A traced region: ``with obs.span("meta.solve", tags={...}) as sp``.
 
     When tracing is disabled this returns a shared no-op singleton —
@@ -318,7 +318,7 @@ class trace_context:
         self._token = _current.set((self.trace_id, None))
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         _current.reset(self._token)
         self._token = None
         return False

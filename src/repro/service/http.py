@@ -245,7 +245,7 @@ def run_server(server: AllocationHTTPServer) -> None:
     """
     host, port = server.server_address[:2]
     ctl = server.controller
-    print(f"repro serve: listening on http://{host}:{port} "
+    print(f"repro serve: listening on http://{host}:{port} "  # repro: noqa[LY301]
           f"(strategy {ctl.strategy}, {len(ctl.state.nodes)} hosts, "
           f"workload {workload_id(ctl.workload)})", flush=True)
     try:

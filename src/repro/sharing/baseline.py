@@ -18,6 +18,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..core.instance import ProblemInstance
+from ..core.resources import STRICT_FIT_ATOL
 from .policies import NodeSharingProblem, POLICIES
 
 __all__ = ["zero_knowledge_placement", "evaluate_actual_yields"]
@@ -30,14 +31,14 @@ def zero_knowledge_placement(instance: ProblemInstance) -> Optional[np.ndarray]:
     lower node index, which keeps the baseline deterministic.
     """
     sv, nd = instance.services, instance.nodes
-    elem_ok = (sv.req_elem[:, None, :] <= nd.elementary[None, :, :] + 1e-12
+    elem_ok = (sv.req_elem[:, None, :] <= nd.elementary[None, :, :] + STRICT_FIT_ATOL
                ).all(axis=2)
     loads = np.zeros_like(nd.aggregate)
     counts = np.zeros(instance.num_nodes, dtype=np.int64)
     placement = np.full(instance.num_services, -1, dtype=np.int64)
     for j in range(instance.num_services):
         fits = elem_ok[j] & (
-            loads + sv.req_agg[j] <= nd.aggregate + 1e-12).all(axis=1)
+            loads + sv.req_agg[j] <= nd.aggregate + STRICT_FIT_ATOL).all(axis=1)
         cands = np.flatnonzero(fits)
         if cands.size == 0:
             return None

@@ -18,6 +18,12 @@ __all__ = ["work_conserving_shares", "DEFAULT_EPSILON"]
 
 DEFAULT_EPSILON = 1e-4
 
+# Absolute slack when deciding a service's remaining need fits inside its
+# offered share.  Shares are normalized to the max weight before division
+# (see below), so round-off lives near machine epsilon — any looser and
+# barely-unsatisfied services would grab a full extra round.
+_SHARE_ATOL = 1e-15
+
 
 def work_conserving_shares(
     weights: np.ndarray,
@@ -88,7 +94,7 @@ def work_conserving_shares(
             w = w / wmax
         share = pool * (w / w.sum())
         need_left = demands[unsatisfied] - consumed[unsatisfied]
-        newly_satisfied = need_left <= share + 1e-15
+        newly_satisfied = need_left <= share + _SHARE_ATOL
         if not newly_satisfied.any():
             # Nobody satisfied: give everyone their share and finish.
             consumed[unsatisfied] += share

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.resources import FEASIBILITY_RTOL
 from ..core.service import ServiceArray
 from ..util.rng import as_generator
 
@@ -69,7 +70,7 @@ class GoogleWorkloadModel:
     def __post_init__(self) -> None:
         if len(self.core_choices) != len(self.core_weights):
             raise ValueError("core_choices and core_weights length mismatch")
-        if abs(sum(self.core_weights) - 1.0) > 1e-9:
+        if abs(sum(self.core_weights) - 1.0) > FEASIBILITY_RTOL:
             raise ValueError("core_weights must sum to 1")
         if min(self.core_choices) < 1:
             raise ValueError("core counts must be positive")

@@ -167,7 +167,8 @@ def workload_id(model: object) -> str:
                   params.values())
     if scalars and not any("," in str(v) or "=" in str(v)
                            for v in params.values()):
-        body = ",".join(f"{k}={_format_scalar(v)}" for k, v in params.items())
+        body = ",".join(f"{k}={_format_scalar(v)}"
+                        for k, v in sorted(params.items()))
     else:
         body = json.dumps(params, sort_keys=True)
     return f"{name}:{body}"

@@ -1,0 +1,90 @@
+"""`repro check` exit-code contract and argument handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main, resolve_rules
+from repro.analysis.core import EngineError, all_rules
+
+
+def _write(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(source, encoding="utf-8")
+    return str(path)
+
+
+def test_exit_zero_on_clean_file(tmp_path, capsys):
+    assert main(["check", _write(tmp_path, "x = 1\n")]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    assert main(["check", _write(tmp_path, "import random\n")]) == 1
+    out = capsys.readouterr().out
+    assert "DT101" in out
+
+
+def test_exit_two_on_unparseable_input(tmp_path, capsys):
+    assert main(["check", _write(tmp_path, "def f(:\n")]) == 2
+    assert "repro check:" in capsys.readouterr().err
+
+
+def test_exit_two_on_unknown_rule(tmp_path, capsys):
+    assert main(["check", "--rules", "NOPE999",
+                 _write(tmp_path, "x = 1\n")]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_strict_fails_on_stale_suppression(tmp_path):
+    path = _write(tmp_path, "x = 1  # repro: noqa[DT104]\n")
+    assert main(["check", path]) == 0
+    assert main(["check", "--strict", path]) == 1
+
+
+def test_json_output_parses(tmp_path, capsys):
+    assert main(["check", "--format", "json",
+                 _write(tmp_path, "import random\n")]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["exit_code"] == 1
+    assert doc["findings"][0]["rule"] == "DT101"
+
+
+def test_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.id in out
+
+
+def test_selftest_via_cli(capsys):
+    assert main(["check", "--selftest"]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_rule_selection_scopes_the_run(tmp_path, capsys):
+    # A DT101 violation is invisible to a layering-only run.
+    path = _write(tmp_path, "import random\n")
+    assert main(["check", "--rules", "LY", path]) == 0
+    assert main(["check", "--rules", "determinism", path]) == 1
+
+
+def test_resolve_rules_spellings():
+    assert [r.id for r in resolve_rules("DT104")] == ["DT104"]
+    assert [r.id for r in resolve_rules("named-tolerances")] == ["DT104"]
+    cc = [r.id for r in resolve_rules("concurrency")]
+    assert cc and all(rid.startswith("CC") for rid in cc)
+    combo = [r.id for r in resolve_rules("DT104,CC201")]
+    assert combo == ["DT104", "CC201"]
+    assert resolve_rules(None) == all_rules()
+    with pytest.raises(EngineError):
+        resolve_rules("bogus")
+
+
+def test_repro_cli_wires_the_subcommand(tmp_path, capsys):
+    from repro.cli import main as repro_main
+
+    assert repro_main(["check", _write(tmp_path, "x = 1\n")]) == 0
+    assert "0 findings" in capsys.readouterr().out

@@ -1,0 +1,136 @@
+"""Engine mechanics: suppression dialect, fixture pragmas, exit codes."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import (
+    EngineError,
+    Finding,
+    iter_python_files,
+    load_module,
+    run_check,
+)
+
+
+def _write(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Suppression parsing
+
+
+def test_bracketed_suppression_silences_listed_rule(tmp_path):
+    path = _write(tmp_path, "mod.py",
+                  "import random  # repro: noqa[DT101]\n")
+    result = run_check([path])
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["DT101"]
+    assert result.exit_code() == 0
+
+
+def test_bare_suppression_silences_everything(tmp_path):
+    path = _write(tmp_path, "mod.py",
+                  "import random  # repro: noqa\n")
+    result = run_check([path])
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["DT101"]
+
+
+def test_suppression_for_other_rule_does_not_silence(tmp_path):
+    path = _write(tmp_path, "mod.py",
+                  "import random  # repro: noqa[LY301]\n")
+    result = run_check([path])
+    assert [f.rule for f in result.findings] == ["DT101"]
+    # ...and the comment itself becomes an unused suppression.
+    assert [f.rule for f in result.unused_suppressions] == ["SUP000"]
+
+
+def test_multi_rule_suppression(tmp_path):
+    path = _write(tmp_path, "mod.py",
+                  "import random  # repro: noqa[LY301, DT101]\n")
+    result = run_check([path])
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_noqa_inside_string_literal_does_not_suppress(tmp_path):
+    path = _write(tmp_path, "mod.py",
+                  's = "# repro: noqa[DT101]"\nimport random\n')
+    result = run_check([path])
+    assert [f.rule for f in result.findings] == ["DT101"]
+    assert result.unused_suppressions == []
+
+
+def test_unused_suppression_only_fails_strict(tmp_path):
+    path = _write(tmp_path, "mod.py", "x = 1  # repro: noqa[DT104]\n")
+    result = run_check([path])
+    assert result.findings == []
+    assert [f.rule for f in result.unused_suppressions] == ["SUP000"]
+    assert result.exit_code(strict=False) == 0
+    assert result.exit_code(strict=True) == 1
+
+
+# ---------------------------------------------------------------------------
+# Fixture pragmas and virtual paths
+
+
+def test_fixture_pragma_assigns_virtual_path(tmp_path):
+    path = _write(
+        tmp_path, "snippet.py",
+        "# repro-fixture: rule=DT104 count=1 path=repro/algorithms/x.py\n"
+        "TOL = 1\n")
+    module = load_module(path)
+    assert module.relpath == "repro/algorithms/x.py"
+    assert module.fixture["rule"] == "DT104"
+    assert module.in_package("algorithms")
+    assert not module.in_package("obs")
+
+
+def test_relpath_anchors_at_repro_package(tmp_path):
+    nested = tmp_path / "whatever" / "repro" / "core"
+    nested.mkdir(parents=True)
+    path = _write(nested, "mod.py", "x = 1\n")
+    assert load_module(path).relpath == "repro/core/mod.py"
+
+
+# ---------------------------------------------------------------------------
+# File discovery and errors
+
+
+def test_iter_python_files_skips_fixture_and_pycache_dirs(tmp_path):
+    (tmp_path / "pkg" / "fixtures").mkdir(parents=True)
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    _write(tmp_path / "pkg", "a.py", "x = 1\n")
+    _write(tmp_path / "pkg" / "fixtures", "bad.py", "import random\n")
+    _write(tmp_path / "pkg" / "__pycache__", "c.py", "x = 1\n")
+    found = [p.name for p in iter_python_files([tmp_path / "pkg"])]
+    assert found == ["a.py"]
+
+
+def test_unparseable_file_is_engine_error(tmp_path):
+    path = _write(tmp_path, "broken.py", "def f(:\n")
+    with pytest.raises(EngineError):
+        run_check([path])
+
+
+def test_non_python_path_is_engine_error(tmp_path):
+    path = _write(tmp_path, "notes.txt", "hello\n")
+    with pytest.raises(EngineError):
+        list(iter_python_files([path]))
+
+
+def test_findings_are_sorted_and_locatable(tmp_path):
+    path = _write(tmp_path, "mod.py",
+                  "import time\n"
+                  "b = time.time()\n"
+                  "a = time.time()\n")
+    result = run_check([path])
+    assert [f.line for f in result.findings] == [2, 3]
+    assert result.findings[0].location().endswith("mod.py:2:5")
+    assert isinstance(result.findings[0], Finding)

@@ -1,0 +1,69 @@
+"""The mypy ratchet runner must degrade gracefully without mypy."""
+
+from __future__ import annotations
+
+import repro.analysis.ratchet as ratchet
+
+
+def _write_ratchet(tmp_path, lines):
+    path = tmp_path / "ratchet.txt"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return str(path)
+
+
+def test_load_ratchet_skips_comments_and_blanks(tmp_path):
+    path = _write_ratchet(tmp_path, [
+        "# header comment",
+        "",
+        "src/a.py  # trailing note",
+        "src/b.py",
+    ])
+    assert ratchet.load_ratchet(path) == ["src/a.py", "src/b.py"]
+
+
+def test_missing_ratchet_file_is_internal_error(tmp_path, capsys):
+    assert ratchet.main(["--ratchet", str(tmp_path / "nope.txt")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_empty_ratchet_is_internal_error(tmp_path, capsys):
+    assert ratchet.main(["--ratchet",
+                         _write_ratchet(tmp_path, ["# only comments"])]) == 2
+
+
+def test_listed_module_must_exist(tmp_path, capsys):
+    assert ratchet.main(["--ratchet",
+                         _write_ratchet(tmp_path, ["no/such/file.py"])]) == 2
+    assert "do not exist" in capsys.readouterr().err
+
+
+def test_skips_cleanly_without_mypy(tmp_path, monkeypatch, capsys):
+    mod = tmp_path / "typed.py"
+    mod.write_text("x: int = 1\n", encoding="utf-8")
+    monkeypatch.setattr(ratchet, "mypy_available", lambda: False)
+    monkeypatch.delenv("REPRO_REQUIRE_MYPY", raising=False)
+    path = _write_ratchet(tmp_path, [str(mod)])
+    assert ratchet.main(["--ratchet", path]) == 0
+    assert "skipping" in capsys.readouterr().out
+
+
+def test_require_flag_fails_without_mypy(tmp_path, monkeypatch, capsys):
+    mod = tmp_path / "typed.py"
+    mod.write_text("x: int = 1\n", encoding="utf-8")
+    monkeypatch.setattr(ratchet, "mypy_available", lambda: False)
+    path = _write_ratchet(tmp_path, [str(mod)])
+    assert ratchet.main(["--require", "--ratchet", path]) == 2
+    assert "required" in capsys.readouterr().err
+
+
+def test_require_env_var_fails_without_mypy(tmp_path, monkeypatch):
+    mod = tmp_path / "typed.py"
+    mod.write_text("x: int = 1\n", encoding="utf-8")
+    monkeypatch.setattr(ratchet, "mypy_available", lambda: False)
+    monkeypatch.setenv("REPRO_REQUIRE_MYPY", "1")
+    path = _write_ratchet(tmp_path, [str(mod)])
+    assert ratchet.main(["--ratchet", path]) == 2
+
+
+def test_unknown_argument_is_internal_error(capsys):
+    assert ratchet.main(["--frobnicate"]) == 2

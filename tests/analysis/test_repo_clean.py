@@ -1,0 +1,51 @@
+"""The library itself must satisfy its own invariants, forever.
+
+This is the teeth of the subsystem: a change that introduces a global
+RNG draw, a wall-clock read in a solver, an inline tolerance, a blocking
+call under the service lock, or a print() in library code fails here —
+in the plain test tier, not just the static-analysis CI job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis.core import all_rules, run_check
+from repro.analysis.ratchet import DEFAULT_RATCHET, load_ratchet
+
+_PKG_ROOT = Path(repro.__file__).resolve().parent
+_REPO_ROOT = _PKG_ROOT.parents[1]
+
+
+def test_repo_wide_zero_unsuppressed_findings():
+    result = run_check([_PKG_ROOT])
+    assert result.findings == [], "\n".join(
+        f"{f.location()} {f.rule} {f.message}" for f in result.findings)
+
+
+def test_repo_wide_no_stale_suppressions():
+    result = run_check([_PKG_ROOT])
+    assert result.unused_suppressions == [], "\n".join(
+        f.location() for f in result.unused_suppressions)
+
+
+def test_every_rule_ran_over_the_repo():
+    # A rule whose scan crashed or was skipped would silently weaken the
+    # zero-findings assertions above; make sure all of them executed.
+    assert len(all_rules()) >= 9
+
+
+def test_ratchet_entries_exist_and_are_unique():
+    ratchet = _REPO_ROOT / DEFAULT_RATCHET
+    if not ratchet.is_file():  # installed-package run; repo file absent
+        return
+    entries = load_ratchet(ratchet)
+    assert entries, "ratchet file lists no modules"
+    assert len(entries) == len(set(entries))
+    for entry in entries:
+        assert (_REPO_ROOT / entry).is_file(), f"missing: {entry}"
+
+
+def test_py_typed_marker_ships():
+    assert (_PKG_ROOT / "py.typed").is_file()

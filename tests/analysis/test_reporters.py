@@ -1,0 +1,66 @@
+"""The JSON report is a stable schema; the nightly artifact depends on it."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import all_rules, run_check
+from repro.analysis.reporters import SCHEMA_VERSION, render_json, render_text
+
+
+def _result(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("import random\n"
+                    "import time  # repro: noqa[DT102]\n"
+                    "t = time.time()  # repro: noqa[DT102]\n",
+                    encoding="utf-8")
+    return run_check([path])
+
+
+def test_json_document_schema(tmp_path):
+    doc = json.loads(render_json(_result(tmp_path), all_rules(),
+                                 strict=True))
+    assert list(doc) == ["schema_version", "strict", "rules", "findings",
+                         "unused_suppressions", "counts", "exit_code"]
+    assert doc["schema_version"] == SCHEMA_VERSION == 1
+    assert doc["strict"] is True
+    for rule in doc["rules"]:
+        assert list(rule) == ["id", "name", "summary"]
+    for finding in doc["findings"]:
+        assert list(finding) == ["rule", "path", "line", "col", "message",
+                                 "suppressed"]
+    assert doc["counts"] == {
+        "files": 1,
+        "findings": 1,          # the random import
+        "suppressed": 1,        # the time.time() call
+        "unused_suppressions": 1,  # the noqa on the bare import line
+    }
+    assert doc["exit_code"] == 1
+
+
+def test_json_findings_are_sorted_and_flagged(tmp_path):
+    doc = json.loads(render_json(_result(tmp_path), all_rules()))
+    keys = [(f["path"], f["line"], f["col"], f["rule"])
+            for f in doc["findings"]]
+    assert keys == sorted(keys)
+    assert [f["suppressed"] for f in doc["findings"]] == [False, True]
+
+
+def test_json_exit_code_tracks_strictness(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("x = 1  # repro: noqa[DT104]\n", encoding="utf-8")
+    result = run_check([path])
+    relaxed = json.loads(render_json(result, all_rules(), strict=False))
+    strict = json.loads(render_json(result, all_rules(), strict=True))
+    assert relaxed["exit_code"] == 0
+    assert strict["exit_code"] == 1
+
+
+def test_text_report_lines(tmp_path):
+    result = _result(tmp_path)
+    text = render_text(result, all_rules())
+    assert "DT101" in text
+    assert text.splitlines()[-1].startswith("repro check: 1 files,")
+    verbose = render_text(result, all_rules(), verbose=True)
+    assert "[suppressed]" in verbose
+    assert "SUP000" in verbose
