@@ -1,0 +1,27 @@
+# repro-fixture: rule=RB401 count=3 path=repro/service/example.py
+# ruff: noqa
+"""Known-bad: swallowed faults and a hand-rolled retry on a failure path."""
+import json
+
+
+def load_state(path):
+    try:
+        return json.loads(path.read_text())
+    except:  # bare except: also eats SystemExit / crash hooks
+        return None
+
+
+def flush_quietly(fh):
+    try:
+        fh.flush()
+    except Exception:
+        pass  # the fault vanishes: no log, no metric, no rollback
+
+
+def solve_with_retry(solver, instance):
+    for _attempt in range(5):
+        try:
+            return solver.solve(instance)
+        except ValueError:
+            continue  # hand-rolled retry; retry_bounded owns this
+    return None

@@ -1,0 +1,36 @@
+# repro-fixture: rule=RB401 count=0 path=repro/service/example_good.py
+# ruff: noqa
+"""Known-good: named exceptions, handled faults, bounded retries."""
+import json
+import logging
+
+logger = logging.getLogger("repro.example")
+
+
+def load_state(path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        logger.warning("state load failed: %s", exc)
+        return None
+
+
+def flush_or_log(fh):
+    try:
+        fh.flush()
+    except Exception:
+        logger.exception("flush failed")  # handled, not swallowed
+
+
+def solve_with_retry(solver, instance, retry_bounded, policy):
+    return retry_bounded(lambda: solver.solve(instance), policy=policy)
+
+
+def skip_bad_rows(rows):
+    # a plain filter loop: continue outside any try handler is fine
+    out = []
+    for row in rows:
+        if not row:
+            continue
+        out.append(row)
+    return out

@@ -1,13 +1,15 @@
 """Rule registry: importing this package registers every shipped rule.
 
-Three families encode the repo's real invariants:
+Four families encode the repo's real invariants:
 
 * determinism (``DT1xx``) — seeded RNG, monotonic clocks, ordered
   fingerprints, named tolerances;
 * concurrency (``CC2xx``) — service lock discipline, picklable pool
   workers;
 * layering (``LY3xx``) — no print in library code, metrics through the
-  obs registry, leaf kernels.
+  obs registry, leaf kernels;
+* robustness (``RB4xx``) — no swallowed exceptions or hand-rolled retry
+  loops on the failure paths (``service/``, ``dynamic/``).
 
 Writing a new rule: subclass :class:`repro.analysis.core.Rule`, decorate
 with :func:`repro.analysis.core.register_rule`, import the module here,
@@ -16,6 +18,6 @@ self-test (``repro check --selftest``) fails until the bad fixture trips
 exactly the new rule.
 """
 
-from . import concurrency, determinism, layering
+from . import concurrency, determinism, layering, robustness
 
-__all__ = ["concurrency", "determinism", "layering"]
+__all__ = ["concurrency", "determinism", "layering", "robustness"]

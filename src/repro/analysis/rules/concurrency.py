@@ -2,8 +2,10 @@
 
 ``CC201`` — lock discipline in ``repro/service/``.  The
 ``AllocationController`` serializes every state change behind one RLock;
-the *only* sanctioned places to spend time under it are the
-``admit``/``depart`` re-solve paths.  The rule builds a call graph over
+the *only* sanctioned places to spend time under it are the re-solve
+paths (``admit``/``depart``, the ``drain_node``/``add_node`` admin
+endpoints, and ``replay_events`` restart recovery).  The rule builds a
+call graph over
 the service package, finds every ``with self._lock:`` region, and flags
 lock-held code that can reach a solver entry point, blocking I/O, or a
 checkpoint write from any *other* function — the classic "quick getter
@@ -34,8 +36,11 @@ from ..core import (
 __all__ = ["LockDisciplineRule", "ParallelBoundaryRule"]
 
 #: Functions allowed to hold the controller lock across a solve: the
-#: two state-changing request paths (and everything they call).
-_SANCTIONED_LOCK_HOLDERS = frozenset({"admit", "depart"})
+#: state-changing request paths (and everything they call) — service
+#: admissions/departures, the node-churn admin endpoints, and journal
+#: replay on restart, which re-runs those solves before serving.
+_SANCTIONED_LOCK_HOLDERS = frozenset({"admit", "depart", "drain_node",
+                                      "add_node", "replay_events"})
 
 #: Call patterns that must not run while the controller lock is held
 #: (outside the sanctioned paths).  Matched against the call's dotted
@@ -121,7 +126,8 @@ class LockDisciplineRule(Rule):
     name = "service-lock-discipline"
     summary = ("no solver calls, blocking I/O, or checkpoint writes while "
                "the AllocationController lock is held outside the "
-               "sanctioned admit/depart paths (repro/service/)")
+               "sanctioned re-solve paths — admit/depart, node "
+               "drain/add, journal replay (repro/service/)")
 
     #: transitive-call search depth through the service package.
     MAX_DEPTH = 6
@@ -149,8 +155,8 @@ class LockDisciplineRule(Rule):
                     yield self.finding(
                         info.module, with_stmt,
                         f"{info.qualname} holds the controller lock over "
-                        f"{kind} ({path}); only admit/depart may — move "
-                        "the work outside the lock")
+                        f"{kind} ({path}); only the sanctioned re-solve "
+                        "paths may — move the work outside the lock")
 
     def _search(self, calls: list[tuple[str, int]],
                 by_method: dict[str, list[_FuncInfo]],

@@ -1,0 +1,132 @@
+"""Robustness rules (RB4xx).
+
+``RB401`` — failure paths in ``repro/service/`` and ``repro/dynamic/``
+must not swallow or hand-roll recovery.  These are the packages whose
+whole contract is *surviving* faults (journal replay, solver retries,
+node churn), so an invisible exception is a correctness bug, not a
+style nit.  Three shapes are flagged:
+
+* a bare ``except:`` — catches ``SystemExit``/``KeyboardInterrupt`` and
+  makes the fault-injection ``os._exit`` crash hooks unreliable;
+* ``except Exception:`` / ``except BaseException:`` whose body is only
+  ``pass``/``...`` — the fault disappears with no log, no metric, no
+  rollback;
+* a loop whose ``try`` handler ``continue``s — a hand-rolled retry.
+  Retries must go through :func:`repro.util.retry.retry_bounded`, the
+  *named bounded-backoff helper*, so every retry is budgeted, observable
+  (``repro_solve_retries_total``), and deterministic under test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Module, Project, Rule, register_rule
+
+__all__ = ["FailurePathDisciplineRule"]
+
+#: Packages whose error handling the rule audits.
+_AUDITED_PACKAGES = ("service", "dynamic")
+
+#: Exception names whose silent capture is never acceptable.
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+#: Nodes that own their own control flow — a walk rooted at a loop must
+#: not descend into them (their continues/tries belong to them).
+_SCOPE_BARRIERS = _LOOPS + (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """True for ``except Exception`` / ``except BaseException``."""
+    types: list[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        types = list(handler.type.elts)
+    elif handler.type is not None:
+        types = [handler.type]
+    else:
+        return True
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _body_is_silent(body: list[ast.stmt]) -> bool:
+    """True when the handler body does nothing: ``pass`` / ``...`` only."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and \
+                isinstance(stmt.value, ast.Constant) and \
+                stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+def _walk_same_scope(roots: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk *roots* without crossing loop or function boundaries."""
+    stack: list[ast.AST] = list(roots)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, _SCOPE_BARRIERS):
+                stack.append(child)
+
+
+@register_rule
+class FailurePathDisciplineRule(Rule):
+    id = "RB401"
+    name = "no-silent-failure-paths"
+    summary = ("repro/service/ and repro/dynamic/ may not swallow "
+               "exceptions (bare/broad except with an empty body) or "
+               "hand-roll retry loops — use repro.util.retry."
+               "retry_bounded")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not any(module.in_package(pkg)
+                       for pkg in _AUDITED_PACKAGES):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ExceptHandler):
+                    yield from self._check_handler(module, node)
+                elif isinstance(node, _LOOPS):
+                    yield from self._check_loop(module, node)
+
+    def _check_handler(self, module: Module,
+                       handler: ast.ExceptHandler) -> Iterator[Finding]:
+        if handler.type is None:
+            yield self.finding(
+                module, handler,
+                "bare 'except:' on a failure path; name the exceptions "
+                "(it also catches SystemExit and breaks crash hooks)")
+        elif _is_broad(handler) and _body_is_silent(handler.body):
+            yield self.finding(
+                module, handler,
+                "broad exception handler silently discards the fault; "
+                "log it, count it, or re-raise")
+
+    def _check_loop(self, module: Module, loop: ast.AST
+                    ) -> Iterator[Finding]:
+        # A try whose handler continues *this* loop is a hand-rolled
+        # retry.  The same-scope walk stops at inner loops and defs, so
+        # every loop reports only its own handlers, exactly once.
+        body = list(getattr(loop, "body", []))
+        body += list(getattr(loop, "orelse", []))
+        for node in _walk_same_scope(body):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                for sub in _walk_same_scope(list(handler.body)):
+                    if isinstance(sub, ast.Continue):
+                        yield self.finding(
+                            module, sub,
+                            "hand-rolled retry loop (except -> "
+                            "continue); use repro.util.retry."
+                            "retry_bounded so the attempt budget and "
+                            "backoff are explicit")

@@ -183,6 +183,35 @@ def build_parser() -> argparse.ArgumentParser:
     dy.add_argument("--periods", type=int, nargs="+", default=[1, 4, 10, 40])
     dy.add_argument("--max-error", type=float, default=0.1)
     dy.add_argument("--threshold", type=float, default=0.1)
+    dy.add_argument("--failure-rate", type=float, default=0.0,
+                    help="per-step probability an up node fails "
+                         "(default 0: no churn)")
+    dy.add_argument("--recovery-rate", type=float, default=0.5,
+                    help="per-step probability a down node recovers "
+                         "(default 0.5)")
+    dy.add_argument("--sla-mix", default=None, metavar="MIX",
+                    help="per-service SLA classes: a named mix "
+                         "(best-effort, mixed, strict) or weights like "
+                         "'gold=1,silver=2,best-effort=7'")
+
+    fs = sub.add_parser(
+        "failure-sweep",
+        help="sweep node failure rates x SLA mixes over the dynamic "
+             "simulator (yield, churn cost, SLA compliance)")
+    fs.add_argument("--hosts", type=int, default=12)
+    fs.add_argument("--horizon", type=int, default=40)
+    fs.add_argument("--arrival-rate", type=float, default=2.0)
+    fs.add_argument("--lifetime", type=float, default=10.0)
+    fs.add_argument("--failure-rates", type=float, nargs="+",
+                    default=[0.0, 0.02, 0.05],
+                    help="per-step node failure probabilities to sweep")
+    fs.add_argument("--recovery-rate", type=float, default=0.5)
+    fs.add_argument("--sla-mixes", nargs="+",
+                    default=["best-effort", "mixed"],
+                    help="named SLA mixes (best-effort, mixed, strict)")
+    fs.add_argument("--period", type=int, default=4,
+                    help="re-pack period (default 4)")
+    fs.add_argument("--instances", type=int, default=3)
 
     al = sub.add_parser("all", help="run every experiment at quick scale")
     al.add_argument("--paper", action="store_true")
@@ -219,6 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--log-json", action="store_true",
                     help="one JSON object per log line (with the "
                          "request's trace id) instead of text")
+    sv.add_argument("--journal", default=None, metavar="FILE",
+                    help="append-only event journal: every acknowledged "
+                         "event is fsynced here before the reply, and a "
+                         "restart replays the file back to the same "
+                         "cluster state")
+    sv.add_argument("--faults", default=None, metavar="SPEC",
+                    help="fault injection for chaos testing, e.g. "
+                         "'solver_fail=2,journal_fail=1,crash_at_event=10,"
+                         "solver_delay_ms=50' (also via REPRO_FAULTS)")
 
     from .analysis.cli import add_check_arguments
     add_check_arguments(sub)
@@ -440,6 +478,28 @@ def _spec_rank_strategies(args) -> tuple[ExperimentSpec, str]:
     return spec, "strategy-ranking"
 
 
+def _spec_failure_sweep(args) -> tuple[ExperimentSpec, str]:
+    from .experiments.failure_sweep import (
+        FailureSweepSpec,
+        failure_sweep_experiment,
+    )
+    try:
+        spec = FailureSweepSpec(
+            hosts=args.hosts, horizon=args.horizon,
+            arrival_rate=args.arrival_rate, lifetime=args.lifetime,
+            failure_rates=tuple(args.failure_rates),
+            recovery_rate=args.recovery_rate,
+            sla_mixes=tuple(args.sla_mixes),
+            reallocation_period=args.period,
+            instances=args.instances, seed=args.seed,
+            workload=args.workload)
+    except ValueError as exc:
+        raise SystemExit(f"repro failure-sweep: {exc}")
+    name = (f"failure-sweep-H{args.hosts}-T{args.horizon}"
+            f"-p{args.period}")
+    return failure_sweep_experiment(spec), name
+
+
 #: Experiment commands that resolve to a shardable :class:`ExperimentSpec`.
 _SPEC_BUILDERS = {
     "table1": _spec_table1,
@@ -447,6 +507,7 @@ _SPEC_BUILDERS = {
     "fig-cov": _spec_fig_cov,
     "fig-error": _spec_fig_error,
     "rank-strategies": _spec_rank_strategies,
+    "failure-sweep": _spec_failure_sweep,
 }
 
 
@@ -597,32 +658,80 @@ def _cmd_compact(args) -> None:
           f"dropped)")
 
 
+def _parse_sla_mix(text: str) -> dict[str, float]:
+    """An SLA mix: a named preset or explicit ``class=weight`` pairs."""
+    from .experiments.failure_sweep import SLA_MIXES
+    if text in SLA_MIXES:
+        return dict(SLA_MIXES[text])
+    mix: dict[str, float] = {}
+    for part in text.split(","):
+        name, sep, weight = part.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"repro dynamic: --sla-mix needs a named mix "
+                f"({', '.join(sorted(SLA_MIXES))}) or 'class=weight' "
+                f"pairs, got {part!r}")
+        try:
+            mix[name.strip()] = float(weight)
+        except ValueError:
+            raise SystemExit(
+                f"repro dynamic: --sla-mix weight {weight!r} is not a "
+                f"number") from None
+    return mix
+
+
 def _cmd_dynamic(args) -> None:
     from .algorithms import metahvp_light
-    from .dynamic import DynamicSimulator, generate_trace
+    from .dynamic import (
+        DynamicSimulator,
+        generate_platform_events,
+        generate_trace,
+    )
     from .experiments.report import format_table
     from .workloads import generate_platform
     platform = generate_platform(hosts=args.hosts, cov=0.5, rng=args.seed)
-    trace = generate_trace(
-        horizon=args.horizon, mean_arrivals_per_step=args.arrival_rate,
-        mean_lifetime_steps=args.lifetime, rng=args.seed + 1,
-        initial_services=args.hosts)
+    sla_mix = (_parse_sla_mix(args.sla_mix)
+               if args.sla_mix is not None else None)
+    try:
+        trace = generate_trace(
+            horizon=args.horizon, mean_arrivals_per_step=args.arrival_rate,
+            mean_lifetime_steps=args.lifetime, rng=args.seed + 1,
+            initial_services=args.hosts, sla_mix=sla_mix)
+    except ValueError as exc:
+        raise SystemExit(f"repro dynamic: {exc}")
+    failures = None
+    if args.failure_rate > 0:
+        failures = generate_platform_events(
+            horizon=args.horizon, n_nodes=args.hosts,
+            failure_rate=args.failure_rate,
+            recovery_rate=args.recovery_rate, rng=args.seed + 2)
+    churn = failures is not None or sla_mix is not None
     rows = []
     for period in args.periods:
         sim = DynamicSimulator(
             platform, trace, placer=metahvp_light(),
             reallocation_period=period, cpu_need_scale=0.05,
             max_error=args.max_error, threshold=args.threshold,
-            rng=args.seed)
+            rng=args.seed, failures=failures)
         result = sim.run()
-        rows.append((period, f"{result.average_min_yield:.3f}",
-                     result.total_migrations,
-                     f"{result.average_pending:.2f}"))
-    _emit(args, "dynamic", format_table(
-        ("re-pack period", "avg min yield", "migrations", "avg pending"),
-        rows, title=f"Dynamic hosting on {args.hosts} hosts, horizon "
-                    f"{args.horizon}, error {args.max_error}, "
-                    f"threshold {args.threshold}"))
+        row = [period, f"{result.average_min_yield:.3f}",
+               result.total_migrations,
+               f"{result.average_pending:.2f}"]
+        if churn:
+            row += [result.total_forced_migrations,
+                    result.displaced_service_steps,
+                    result.total_sla_violations]
+        rows.append(tuple(row))
+    headers = ["re-pack period", "avg min yield", "migrations",
+               "avg pending"]
+    title = (f"Dynamic hosting on {args.hosts} hosts, horizon "
+             f"{args.horizon}, error {args.max_error}, "
+             f"threshold {args.threshold}")
+    if churn:
+        headers += ["forced", "displaced steps", "SLA violations"]
+        title += (f", failure rate {args.failure_rate:g}"
+                  if failures is not None else "")
+    _emit(args, "dynamic", format_table(tuple(headers), rows, title=title))
 
 
 def _cmd_obs(args, parser: argparse.ArgumentParser) -> None:
@@ -641,22 +750,53 @@ def _cmd_obs(args, parser: argparse.ArgumentParser) -> None:
 
 def _cmd_serve(args) -> None:
     from .obs.logs import setup_logging
-    from .service import AllocationController, ServiceError, create_server
-    from .service import run_server
+    from .service import (
+        AllocationController,
+        EventJournal,
+        FaultInjector,
+        FaultPlan,
+        JournalError,
+        ServiceError,
+        create_server,
+        faults_from_env,
+        load_journal,
+        run_server,
+    )
     from .workloads import generate_platform
     setup_logging(level=args.log_level, json_lines=args.log_json)
     nodes = generate_platform(hosts=args.hosts, cov=args.cov, rng=args.seed)
+    if args.faults:
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"repro serve: --faults: {exc}")
+        injector = FaultInjector(plan) if plan.active() else None
+    else:
+        injector = faults_from_env()
     try:
         controller = AllocationController(
             nodes, strategy=args.strategy,
             workload=parse_workload(args.workload),
             deadline_ms=args.deadline_ms,
             cpu_need_scale=args.cpu_need_scale,
-            rng=args.seed + 1)
+            rng=args.seed + 1,
+            faults=injector)
     except ServiceError as exc:
         raise SystemExit(f"repro serve: {exc.payload['error']} "
                          f"(available: "
                          f"{', '.join(exc.payload.get('available', []))})")
+    if args.journal:
+        try:
+            events = load_journal(args.journal)
+        except (JournalError, ValueError) as exc:
+            raise SystemExit(f"repro serve: --journal: {exc}")
+        if events:
+            controller.replay_events(events)
+            print(f"repro serve: recovered {len(events)} events from "
+                  f"{args.journal} ({len(controller.state)} services "
+                  f"active)", flush=True)
+        controller.attach_journal(EventJournal(
+            args.journal, faults=injector, start_seq=len(events)))
     run_server(create_server(controller, args.host, args.port))
 
 
@@ -666,6 +806,7 @@ _COMMANDS = {
     "fig-cov": _run_spec,
     "fig-error": _run_spec,
     "rank-strategies": _run_spec,
+    "failure-sweep": _run_spec,
     "dynamic": _cmd_dynamic,
     "all": _cmd_all,
     "compact": _cmd_compact,

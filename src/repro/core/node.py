@@ -97,6 +97,36 @@ class NodeArray:
         self.aggregate.setflags(write=False)
         self.names = tuple(n.name for n in nodes)
 
+    @classmethod
+    def from_arrays(cls, elementary: np.ndarray, aggregate: np.ndarray,
+                    names: Sequence[str] | None = None) -> "NodeArray":
+        """Build directly from ``(H, D)`` capacity arrays.
+
+        Used where a derived platform already exists in array form — a
+        failure-masked or capacity-scaled sub-platform, or a node added
+        to a running service — without materializing ``Node`` objects.
+        The inputs are copied; validation matches the object path.
+        """
+        elementary = np.ascontiguousarray(elementary, dtype=np.float64)
+        aggregate = np.ascontiguousarray(aggregate, dtype=np.float64)
+        if elementary.ndim != 2 or elementary.shape != aggregate.shape:
+            raise InvalidCapacityError(
+                "elementary/aggregate must be matching (H, D) arrays, got "
+                f"{elementary.shape} and {aggregate.shape}")
+        if elementary.shape[0] < 1:
+            raise InvalidCapacityError("NodeArray requires at least one node")
+        obj = cls.__new__(cls)
+        obj.elementary = elementary.copy()
+        obj.aggregate = aggregate.copy()
+        obj.elementary.setflags(write=False)
+        obj.aggregate.setflags(write=False)
+        obj.names = (tuple(names) if names is not None
+                     else ("",) * elementary.shape[0])
+        if len(obj.names) != elementary.shape[0]:
+            raise InvalidCapacityError(
+                f"got {len(obj.names)} names for {elementary.shape[0]} nodes")
+        return obj
+
     def __len__(self) -> int:
         return self.elementary.shape[0]
 

@@ -25,8 +25,8 @@ from ..core.node import NodeArray
 from ..core.resources import STRICT_FIT_ATOL
 from ..kernels import get_backend
 
-__all__ = ["INCREMENTAL_TOL", "elem_fit_table", "rebuild_loads",
-           "best_fit_newcomers"]
+__all__ = ["INCREMENTAL_TOL", "elem_fit_table", "masked_fit_tables",
+           "rebuild_loads", "best_fit_newcomers"]
 
 #: Fit slack of the incremental (non-epoch) best-fit placements —
 #: the seed-faithful strict slack (see ``core.resources``).
@@ -42,6 +42,28 @@ def elem_fit_table(req_elem: np.ndarray, nodes: NodeArray) -> np.ndarray:
     """
     return (req_elem[:, None, :]
             <= (nodes.elementary + INCREMENTAL_TOL)[None, :, :]).all(axis=2)
+
+
+def masked_fit_tables(req_elem: np.ndarray, nodes: NodeArray,
+                      avail: np.ndarray, scale: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Fit tables for a degraded platform (node churn, capacity scaling).
+
+    Returns the ``(N, H)`` elementary-fit table against the *scaled*
+    elementary capacities with down nodes fully masked out, and the
+    ``(H, D)`` aggregate capacity-with-slack array where down nodes get
+    −1 so no load can ever fit them.  Both feed straight into
+    :func:`best_fit_newcomers`, which keeps survivor placements intact
+    and only slots the displaced/new services into the platform that is
+    actually up.
+    """
+    scaled_elem = nodes.elementary * scale[:, None]
+    elem_fit = (req_elem[:, None, :]
+                <= (scaled_elem + INCREMENTAL_TOL)[None, :, :]).all(axis=2)
+    elem_fit &= avail[None, :]
+    cap_tol = nodes.aggregate * scale[:, None] + INCREMENTAL_TOL
+    cap_tol[~avail] = -1.0
+    return elem_fit, cap_tol
 
 
 def rebuild_loads(assigned: np.ndarray, req_agg: np.ndarray,

@@ -12,6 +12,18 @@ Every step, the runtime layer shares each node's CPU with a §6 policy
 and the simulator records the yields actually achieved against the true
 needs.
 
+**Platform churn.**  An optional :class:`~repro.dynamic.failures.
+PlatformSchedule` makes the platform itself dynamic: nodes fail, recover
+and change capacity mid-run.  Failure handling is repair-first — the
+displaced services are evicted and re-placed via the incremental
+best-fit on the surviving platform (survivors stay put; that is the
+migration-cost-aware preference), while full epochs re-pack everything
+on whatever platform is up.  ``forced_migrations`` counts displaced
+services that landed again, ``displaced`` the ones still pending
+because of churn.  Per-service SLA classes (:mod:`repro.core.sla`) add
+differentiated minimum-yield floors; every active service below its
+floor is one SLA-violation service-step.
+
 **Hot path.**  Placements are array-resident: one ``(N,)`` assignment
 array over all trace descriptors (−1 = not placed) and one ``(H, D)``
 node-load array maintained incrementally across steps — departures
@@ -26,6 +38,7 @@ yield, cutting the probe count by ~2× at matching certified yields (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -35,15 +48,18 @@ from ..core.instance import ProblemInstance
 from ..core.node import NodeArray
 from ..core.resources import FEASIBILITY_ATOL, FEASIBILITY_RTOL
 from ..core.service import ServiceArray
+from ..core.sla import SLA_FLOOR_ATOL, SLA_NAMES, sla_floors
 from ..sharing.adaptive import AdaptiveThreshold
 from ..sharing.baseline import evaluate_actual_yields
 from ..sharing.errors import apply_minimum_threshold, perturb_cpu_needs
 from ..util.rng import as_generator
 from .events import WorkloadTrace
+from .failures import PlatformEvent, PlatformSchedule
 from .incremental import (
     INCREMENTAL_TOL as _INCREMENTAL_TOL,
     best_fit_newcomers,
     elem_fit_table,
+    masked_fit_tables,
     rebuild_loads,
 )
 
@@ -63,15 +79,34 @@ class StepRecord:
     migrations: int
     min_yield: float
     mean_yield: float
+    failed_nodes: int = 0
+    forced_migrations: int = 0
+    displaced: int = 0
+    sla_violations: int = 0
 
 
 @dataclass
 class SimulationResult:
     steps: list[StepRecord] = field(default_factory=list)
+    #: Per-SLA-class violation service-step totals (empty when the run
+    #: carried no SLA annotation).
+    sla_violations: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_migrations(self) -> int:
         return sum(s.migrations for s in self.steps)
+
+    @property
+    def total_forced_migrations(self) -> int:
+        return sum(s.forced_migrations for s in self.steps)
+
+    @property
+    def displaced_service_steps(self) -> int:
+        return sum(s.displaced for s in self.steps)
+
+    @property
+    def total_sla_violations(self) -> int:
+        return sum(s.sla_violations for s in self.steps)
 
     @property
     def average_min_yield(self) -> float:
@@ -85,7 +120,9 @@ class SimulationResult:
 
     def as_rows(self) -> list[tuple]:
         return [(s.time, s.active, s.placed, s.pending, s.migrations,
-                 round(s.min_yield, 4), round(s.mean_yield, 4))
+                 round(s.min_yield, 4), round(s.mean_yield, 4),
+                 s.failed_nodes, s.forced_migrations, s.displaced,
+                 s.sla_violations)
                 for s in self.steps]
 
 
@@ -124,6 +161,14 @@ class DynamicSimulator:
         envelope; the reference workloads are asserted row-identical in
         the tests/benchmarks).  ``search_probes``/``search_solves``
         count the oracle work across the run.
+    failures:
+        Optional :class:`~repro.dynamic.failures.PlatformSchedule`.
+        ``None`` (the default) reproduces the fixed-platform behavior
+        bit-exactly.
+    sla:
+        Optional per-descriptor SLA class names; defaults to the
+        trace's own annotation (``trace.sla``).  ``None`` disables the
+        violation accounting entirely.
     validate_loads:
         Debug aid: re-derive the node loads from scratch every step and
         assert the incrementally maintained array matches.
@@ -141,9 +186,28 @@ class DynamicSimulator:
                  adaptive: AdaptiveThreshold | None = None,
                  rng: np.random.Generator | int | None = None,
                  warm_start: bool = True,
+                 failures: PlatformSchedule | Sequence[PlatformEvent]
+                 | None = None,
+                 sla: Sequence[str] | None = None,
                  validate_loads: bool = False):
         if reallocation_period < 1:
             raise ValueError("reallocation period must be >= 1")
+        if failures is not None and not isinstance(failures,
+                                                   PlatformSchedule):
+            # a raw event stream (e.g. straight from
+            # generate_platform_events) compiles against this run's shape
+            failures = PlatformSchedule(horizon=trace.horizon,
+                                        n_nodes=len(nodes),
+                                        events=tuple(failures))
+        if failures is not None:
+            if failures.n_nodes != len(nodes):
+                raise ValueError(
+                    f"failure schedule covers {failures.n_nodes} nodes, "
+                    f"platform has {len(nodes)}")
+            if failures.horizon < trace.horizon:
+                raise ValueError(
+                    f"failure schedule horizon {failures.horizon} shorter "
+                    f"than trace horizon {trace.horizon}")
         self.nodes = nodes
         self.trace = trace
         self.placer = placer
@@ -169,6 +233,30 @@ class DynamicSimulator:
         self._loads = np.zeros_like(nodes.aggregate)
         self._agg_cap_tol = nodes.aggregate + _INCREMENTAL_TOL
         self._elem_fit: np.ndarray | None = None  # (N, H), lazy
+        # Platform churn state: availability mask, capacity scale, the
+        # displaced-service flags, and the caches they invalidate.
+        self._failures = failures
+        self._avail = np.ones(len(nodes), dtype=bool)
+        self._scale = np.ones(len(nodes), dtype=np.float64)
+        self._platform_version = 0
+        self._displaced = np.zeros(n, dtype=bool)
+        self._fit_key: tuple | None = None
+        self._fit_elem: np.ndarray | None = None
+        self._fit_cap: np.ndarray | None = None
+        self._eff_key = -1
+        self._eff_nodes: NodeArray | None = None
+        self._eff_idx: np.ndarray | None = None
+        self._eff_pos: np.ndarray | None = None
+        # SLA floors (per descriptor) — default to the trace annotation.
+        names = tuple(sla) if sla is not None else trace.sla
+        if names is not None and len(names) != n:
+            raise ValueError(
+                f"got {len(names)} SLA classes for {n} services")
+        self._sla_names = names
+        self._sla_floors = sla_floors(names) if names is not None else None
+        self._sla_codes = (np.array([SLA_NAMES.index(x) for x in names],
+                                    dtype=np.int64)
+                           if names is not None else None)
         # Warm-start memory and oracle-work counters.
         self._hint: float | None = None
         self._hint_ub: float | None = None
@@ -208,6 +296,88 @@ class DynamicSimulator:
                                             self.nodes)
         return self._elem_fit
 
+    def _current_fit(self) -> tuple[np.ndarray, np.ndarray]:
+        """Elementary-fit table and aggregate cap-with-slack for the
+        platform that is currently up (base tables when churn-free)."""
+        if self._failures is None:
+            return self._elem_fit_table(), self._agg_cap_tol
+        key = (self._est_version, self._platform_version)
+        if self._fit_key != key:
+            self._fit_elem, self._fit_cap = masked_fit_tables(
+                self._estimates.req_elem, self.nodes,
+                self._avail, self._scale)
+            self._fit_key = key
+        assert self._fit_elem is not None and self._fit_cap is not None
+        return self._fit_elem, self._fit_cap
+
+    def _eff_platform(self) -> tuple[NodeArray | None, np.ndarray, np.ndarray]:
+        """Effective platform: the up nodes at their current scale.
+
+        Returns ``(nodes, idx, pos)`` where *nodes* is a NodeArray over
+        the up nodes (``self.nodes`` itself when the platform is whole,
+        ``None`` when everything is down), *idx* maps effective → global
+        node indices and *pos* the inverse (−1 for down nodes).
+        """
+        if self._eff_key != self._platform_version:
+            idx = np.flatnonzero(self._avail)
+            if idx.size == 0:
+                self._eff_nodes = None
+            elif idx.size == len(self.nodes) and (self._scale == 1.0).all():
+                self._eff_nodes = self.nodes
+            else:
+                sc = self._scale[idx, None]
+                self._eff_nodes = NodeArray.from_arrays(
+                    self.nodes.elementary[idx] * sc,
+                    self.nodes.aggregate[idx] * sc,
+                    [self.nodes.names[i] for i in idx])
+            pos = np.full(len(self.nodes), -1, dtype=np.int64)
+            pos[idx] = np.arange(idx.size)
+            self._eff_idx = idx
+            self._eff_pos = pos
+            self._eff_key = self._platform_version
+        assert self._eff_idx is not None and self._eff_pos is not None
+        return self._eff_nodes, self._eff_idx, self._eff_pos
+
+    def _apply_platform(self, t: int) -> int:
+        """Bring churn state up to step *t*; evict displaced services.
+
+        Services on nodes that went down are evicted outright; a node
+        whose capacity shrank sheds its newest services (highest
+        descriptor index = latest arrival) until the remaining load
+        fits.  Returns the eviction count.  Evicted services keep their
+        ``displaced`` flag until they are placed again (a *forced
+        migration*) or depart.
+        """
+        assert self._failures is not None
+        mask = self._failures.mask_at(t)
+        scale = self._failures.scale_at(t)
+        if bool((mask == self._avail).all()) and bool((scale == self._scale).all()):
+            return 0
+        self._avail = mask.copy()
+        self._scale = scale.copy()
+        self._platform_version += 1
+        evicted = 0
+        placed = np.flatnonzero(self._assigned >= 0)
+        on_down = placed[~mask[self._assigned[placed]]]
+        if on_down.size:
+            np.subtract.at(self._loads, self._assigned[on_down],
+                           self._estimates.req_agg[on_down])
+            self._assigned[on_down] = -1
+            self._displaced[on_down] = True
+            evicted += int(on_down.size)
+        cap = self.nodes.aggregate * scale[:, None] + _INCREMENTAL_TOL
+        for h in np.flatnonzero(mask):
+            while bool((self._loads[h] > cap[h]).any()):
+                victims = np.flatnonzero(self._assigned == h)
+                if victims.size == 0:
+                    break  # residual float dust only; nothing to shed
+                j = victims[-1]
+                self._loads[h] -= self._estimates.req_agg[j]
+                self._assigned[j] = -1
+                self._displaced[j] = True
+                evicted += 1
+        return evicted
+
     def _rebuild_loads(self) -> np.ndarray:
         """Node loads re-derived from the assignment array."""
         return rebuild_loads(self._assigned, self._estimates.req_agg,
@@ -227,10 +397,11 @@ class DynamicSimulator:
             return self.placer(instance)
         if self.warm_start:
             # Steady-state epochs often re-pose the *identical* instance
-            # (same active set, unchanged estimates); the deterministic
-            # solver would reproduce the previous answer probe for
-            # probe, so reuse it outright.
-            key = (self._est_version, self._active_key)
+            # (same active set, unchanged estimates, same platform); the
+            # deterministic solver would reproduce the previous answer
+            # probe for probe, so reuse it outright.
+            key = (self._est_version, self._platform_version,
+                   self._active_key)
             if key == self._memo_key:
                 self.search_solves += 1
                 return self._memo_alloc
@@ -246,7 +417,8 @@ class DynamicSimulator:
             self._hint = stats.get("certified")
             self._hint_ub = ub
         if self.warm_start:
-            self._memo_key = (self._est_version, self._active_key)
+            self._memo_key = (self._est_version, self._platform_version,
+                              self._active_key)
             self._memo_alloc = alloc
         return alloc
 
@@ -257,14 +429,17 @@ class DynamicSimulator:
         if self.adaptive is not None:
             self._set_estimates(apply_minimum_threshold(
                 self._noisy, self.adaptive.value))
+        eff_nodes, eff_idx, _ = self._eff_platform()
+        if eff_nodes is None:
+            return None  # whole platform down
         est_instance = ProblemInstance(
-            self.nodes, self._subset(self._estimates, active))
+            eff_nodes, self._subset(self._estimates, active))
         self._active_key = active.tobytes()
         alloc = self._solve(est_instance)
         if alloc is None:
             return None
         self._assigned[:] = -1
-        self._assigned[active] = alloc.placement
+        self._assigned[active] = eff_idx[alloc.placement]
         self._loads = self._rebuild_loads()
         return alloc.minimum_yield()
 
@@ -275,8 +450,8 @@ class DynamicSimulator:
         The departed services' demands are subtracted from the
         incrementally maintained loads; the newcomers go through the
         kernel backend's best-fit (least total remaining capacity, ties
-        to the lowest node index).  Unplaceable newcomers stay pending
-        and are retried next step.
+        to the lowest node index) against the platform that is up.
+        Unplaceable newcomers stay pending and are retried next step.
         """
         est = self._estimates
         departed = np.flatnonzero((self._assigned >= 0) & ~active_mask)
@@ -286,22 +461,31 @@ class DynamicSimulator:
             self._assigned[departed] = -1
         newcomers = active[self._assigned[active] < 0]
         if newcomers.size:
+            elem_fit, cap_tol = self._current_fit()
             chosen = best_fit_newcomers(
                 est.req_agg[newcomers],
-                self._elem_fit_table()[newcomers],
-                self._loads, self.nodes, cap_tol=self._agg_cap_tol)
+                elem_fit[newcomers],
+                self._loads, self.nodes, cap_tol=cap_tol)
             placed = chosen >= 0
             self._assigned[newcomers[placed]] = chosen[placed]
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         result = SimulationResult()
+        if self._sla_floors is not None:
+            result.sla_violations = {name: 0 for name in SLA_NAMES}
         for t in range(self.trace.horizon):
+            if self._failures is not None:
+                self._apply_platform(t)
+            down_nodes = (int(np.count_nonzero(~self._avail))
+                          if self._failures is not None else 0)
             active = self.trace.active_indices(t)
             if active.size == 0:
                 self._assigned[:] = -1
                 self._loads[:] = 0.0
-                result.steps.append(StepRecord(t, 0, 0, 0, 0, 1.0, 1.0))
+                self._displaced[:] = False
+                result.steps.append(StepRecord(t, 0, 0, 0, 0, 1.0, 1.0,
+                                               failed_nodes=down_nodes))
                 continue
             active_mask = np.zeros(self._assigned.shape[0], dtype=bool)
             active_mask[active] = True
@@ -336,18 +520,46 @@ class DynamicSimulator:
 
             placed_ids = np.flatnonzero(self._assigned >= 0)
             pending = int(active.size - placed_ids.size)
+            yields = None
             if placed_ids.size:
+                eval_nodes, _, eff_pos = self._eff_platform()
+                assert eval_nodes is not None  # placements imply up nodes
                 true_instance = ProblemInstance(
-                    self.nodes, self._subset(self._true, placed_ids))
+                    eval_nodes, self._subset(self._true, placed_ids))
                 est_instance = ProblemInstance(
-                    self.nodes, self._subset(self._estimates, placed_ids))
-                placement_arr = self._assigned[placed_ids]
+                    eval_nodes, self._subset(self._estimates, placed_ids))
+                placement_arr = eff_pos[self._assigned[placed_ids]]
                 yields = evaluate_actual_yields(
                     true_instance, placement_arr, self.policy,
                     estimated_instance=est_instance)
                 min_y, mean_y = float(yields.min()), float(yields.mean())
             else:
                 min_y = mean_y = 0.0
+
+            # Churn accounting: a displaced service that landed again is
+            # a forced migration; one still pending is a displaced
+            # service-step; departures drop the flag.
+            self._displaced &= active_mask
+            forced_mask = self._displaced & (self._assigned >= 0)
+            forced = int(np.count_nonzero(forced_mask))
+            self._displaced &= ~forced_mask
+            displaced_now = int(np.count_nonzero(self._displaced))
+
+            sla_viol = 0
+            if self._sla_floors is not None:
+                achieved = np.zeros(self._assigned.shape[0])
+                if placed_ids.size:
+                    achieved[placed_ids] = yields
+                violated = active_mask & (
+                    achieved < self._sla_floors - SLA_FLOOR_ATOL)
+                sla_viol = int(np.count_nonzero(violated))
+                if sla_viol:
+                    assert self._sla_codes is not None
+                    counts = np.bincount(self._sla_codes[violated],
+                                         minlength=len(SLA_NAMES))
+                    for name, c in zip(SLA_NAMES, counts):
+                        result.sla_violations[name] += int(c)
+
             if self.adaptive is not None and promised is not None:
                 self.adaptive.observe(promised, min_y)
             if self.validate_loads:
@@ -360,5 +572,7 @@ class DynamicSimulator:
             result.steps.append(StepRecord(
                 time=t, active=int(active.size), placed=int(placed_ids.size),
                 pending=pending, migrations=migrations,
-                min_yield=min_y, mean_yield=mean_y))
+                min_yield=min_y, mean_yield=mean_y,
+                failed_nodes=down_nodes, forced_migrations=forced,
+                displaced=displaced_now, sla_violations=sla_viol))
         return result

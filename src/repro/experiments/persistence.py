@@ -45,10 +45,13 @@ __all__ = [
     "as_jsonl_checkpoint",
     "as_result_store",
     "compact_checkpoint",
+    "durable_append",
     "fingerprinted_cache",
     "load_results",
     "merge_checkpoints",
     "merge_results",
+    "open_append",
+    "recover_records",
     "save_results",
     "scenario_key",
     "task_from_dict",
@@ -218,6 +221,14 @@ def _recover_records(path: str) -> list[dict]:
         with open(path, "ab") as fh:
             fh.write(b"\n")
     return records
+
+
+# The append-only JSONL discipline — durable line writes plus tail repair
+# on reopen — is not checkpoint-specific; the service event journal
+# (``repro.service.journal``) builds on the same primitives.
+open_append = _open_append
+durable_append = _durable_append
+recover_records = _recover_records
 
 
 def save_results(results: Sequence[TaskResult], path: str) -> None:

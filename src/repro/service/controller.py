@@ -38,9 +38,27 @@ via ``binary_search_max_yield(hint=)``:
   search-certified (``certified_yield`` is ``null`` until the next full
   solve).
 
-* A solver failure on a departure (or a degraded arrival) never loses
-  the incumbent: the placement is retained for the remaining services
-  and yields are recomputed closed-form.
+* **Robustness**: solver invocations run under a named bounded backoff
+  (:func:`repro.util.retry.retry_bounded`); only after the retry budget
+  is exhausted does an arrival fall back to the degraded greedy probe
+  (and a departure to the retained incumbent).  A solver failure never
+  loses the incumbent placement.
+
+* **Durability**: with an :class:`~repro.service.journal.EventJournal`
+  attached, every state-changing event (admit, depart, strategy switch,
+  drain, node add) is fsynced to the journal *before* it commits and
+  before the client is answered.  A journal-write failure rolls the
+  whole event back (state, warm-start hint and all) and answers 503 —
+  the daemon never acknowledges an event it cannot replay.  Each record
+  carries the solve mode actually used, so :meth:`replay_events`
+  reproduces degraded-path decisions without re-evaluating latency
+  heuristics; replay runs with faults and journaling disabled and lands
+  on a :meth:`ClusterState.digest`-identical state.
+
+* **Operator actions**: ``drain_node`` evacuates a node (the re-solve
+  must fit the live set on the remaining nodes, else 409 and the drain
+  is refused); ``add_node`` grows the platform and re-solves
+  opportunistically, keeping the incumbent when the solver fails.
 
 * **Observability**: all counters/gauges/histograms live in a
   :class:`repro.obs.MetricsRegistry` — :meth:`render_metrics` is the
@@ -48,9 +66,9 @@ via ``binary_search_max_yield(hint=)``:
   :meth:`metrics` keeps the legacy JSON view (exact p50/p90/p99 from a
   bounded sample window; fixed histogram buckets can't reproduce them).
   Each full/degraded solve runs under an obs span (``service.solve``),
-  and admissions record the request's trace id on the stored
-  allocation so a slow client request can be joined against the
-  daemon's ``--obs-log`` trace.
+  journal replay under ``service.recover``, and admissions record the
+  request's trace id on the stored allocation so a slow client request
+  can be joined against the daemon's ``--obs-log`` trace.
 """
 
 from __future__ import annotations
@@ -58,6 +76,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -70,15 +89,20 @@ from ..algorithms.vector_packing.meta import (
 )
 from ..core.allocation import Allocation
 from ..core.node import NodeArray
+from ..core.sla import DEFAULT_SLA, SLA_FLOOR_ATOL, SLA_NAMES, sla_floor
 from ..dynamic.incremental import (
     best_fit_newcomers,
     elem_fit_table,
+    masked_fit_tables,
     rebuild_loads,
 )
+from ..util.retry import DEFAULT_BACKOFF, BackoffPolicy, retry_bounded
 from ..util.rng import as_generator
 from ..workloads.google_model import DEFAULT_MODEL
 from ..workloads.registry import workload_id
-from .state import ClusterState, ServiceSpec
+from .faults import FaultInjector
+from .journal import EventJournal
+from .state import ClusterState, ServiceSpec, StateSnapshot
 
 __all__ = ["AllocationController", "ServiceError", "PROBATION_PERIOD"]
 
@@ -114,7 +138,10 @@ class AllocationController:
                  cpu_need_scale: float = 0.05,
                  engine: str = DEFAULT_ENGINE,
                  warm_start: bool = True,
-                 rng: np.random.Generator | int | None = None):
+                 rng: np.random.Generator | int | None = None,
+                 journal: EventJournal | None = None,
+                 faults: FaultInjector | None = None,
+                 solver_retry: BackoffPolicy = DEFAULT_BACKOFF):
         self.state = ClusterState(nodes)
         self.workload = workload
         self.deadline_ms = deadline_ms
@@ -122,6 +149,12 @@ class AllocationController:
         self.engine = engine
         self.warm_start = warm_start
         self._rng = as_generator(rng)
+        # The journal attaches *after* construction: the initial
+        # strategy is configuration, not an event (replay constructs
+        # the controller with the same flags before folding the log).
+        self._journal: EventJournal | None = None
+        self._faults = faults
+        self._solver_retry = solver_retry
         # Reentrant: set_strategy/sample_spec take it on their own when
         # called from HTTP handler threads, and from inside admit/depart.
         self._lock = threading.RLock()
@@ -164,6 +197,27 @@ class AllocationController:
         self._m_probes = reg.counter(
             "repro_solve_probes_total",
             "Feasibility-oracle probes across all full solves.")
+        self._m_retries = reg.counter(
+            "repro_solve_retries_total",
+            "Solver invocations retried under the bounded backoff.")
+        self._m_node_events = reg.counter(
+            "repro_node_events_total",
+            "Platform-changing operator events by kind (drain, add).",
+            ("kind",))
+        for kind in ("drain", "add"):
+            self._m_node_events.labels(kind=kind)
+        self._m_sla = reg.counter(
+            "repro_sla_violations_total",
+            "Services observed below their SLA yield floor at an event "
+            "commit, by SLA class.", ("class",))
+        for name in SLA_NAMES:
+            self._m_sla.labels(**{"class": name})
+        self._m_journal_errors = reg.counter(
+            "repro_journal_errors_total",
+            "Events refused because the journal write failed.")
+        self._m_recovered = reg.counter(
+            "repro_recovered_events_total",
+            "Events replayed from the journal at startup.")
         self._m_latency = reg.histogram(
             "repro_solve_latency_seconds", "Placement solve latency.")
         reg.gauge("repro_active_services",
@@ -184,6 +238,8 @@ class AllocationController:
         self._latencies: deque[float] = deque(maxlen=4096)
         self._busy = 0
         self.max_concurrent_solves = 0
+        if journal is not None:
+            self._journal = journal
 
     # -- strategy ------------------------------------------------------
     @property
@@ -199,10 +255,22 @@ class AllocationController:
                 400, f"unknown strategy {name!r}",
                 available=sorted(META_STRATEGY_FAMILIES))
         with self._lock:
+            prev = self._strategy
             if name not in self._solvers:
                 self._solvers[name] = named_meta_solver(name,
                                                         engine=self.engine)
             self._strategy = name
+            if self._journal is None or name == prev:
+                return
+            try:
+                seq = self._journal.append({"op": "strategy", "name": name})
+            except Exception as exc:
+                self._strategy = prev
+                self._m_journal_errors.inc()
+                raise ServiceError(
+                    503, f"journal write failed; strategy unchanged: {exc}"
+                ) from exc
+            self._after_commit(seq)
 
     # -- request plumbing ----------------------------------------------
     def count_request(self, endpoint: str) -> None:
@@ -216,13 +284,17 @@ class AllocationController:
                 if sid not in self.state:
                     return sid
 
-    def sample_spec(self, sid: str | None = None) -> ServiceSpec:
+    def sample_spec(self, sid: str | None = None,
+                    sla: str = DEFAULT_SLA) -> ServiceSpec:
         """Draw one service from the configured workload model.
 
         CPU needs are scaled by ``cpu_need_scale`` (core units →
         capacity units, exactly as the dynamic simulator scales its
         traces); the other descriptors are used as generated.
         """
+        if sla not in SLA_NAMES:
+            raise ServiceError(
+                400, f"unknown SLA class {sla!r}", available=list(SLA_NAMES))
         with self._lock:  # the RNG is not safe to share across threads
             services = self.workload.generate_services(1, rng=self._rng)
             sid = sid or self.next_service_id()
@@ -233,7 +305,100 @@ class AllocationController:
         return ServiceSpec(sid,
                            services.req_elem[0].copy(),
                            services.req_agg[0].copy(),
-                           need_elem, need_agg)
+                           need_elem, need_agg, sla)
+
+    # -- durability plumbing -------------------------------------------
+    def attach_journal(self, journal: EventJournal) -> None:
+        """Start journaling events (after any startup replay)."""
+        with self._lock:
+            self._journal = journal
+
+    def quiesce(self) -> None:
+        """Drain for shutdown: flush and close the journal under the
+        lock, so no event can slip in after the final fsync."""
+        with self._lock:
+            if self._journal is not None:
+                self._journal.close()
+
+    def _commit_event(self, event: dict, snap: StateSnapshot,
+                      hint_snap: tuple) -> int | None:
+        """Durably journal *event*, or roll the state back and refuse.
+
+        Runs between the solve and the state commit: if the journal
+        write fails, *snap*/*hint_snap* (captured before the event
+        started mutating anything) are restored and the client gets a
+        503 — nothing is acknowledged that replay could not reproduce.
+        """
+        if self._journal is None:
+            return None
+        try:
+            return self._journal.append(event)
+        except Exception as exc:
+            self.state.restore(snap)
+            self._hint, self.last_full_solve = hint_snap
+            self._m_journal_errors.inc()
+            raise ServiceError(
+                503, f"journal write failed; event refused: {exc}") from exc
+
+    def _after_commit(self, seq: int | None) -> None:
+        # Fault point: the event is durable and applied but the client
+        # has not heard back — the crash window recovery must cover.
+        if seq is not None and self._faults is not None:
+            self._faults.on_event_committed(seq)
+
+    def _observe_sla(self) -> dict[str, int]:
+        """Count live services below their SLA floor (post-commit)."""
+        counts: dict[str, int] = {}
+        for spec in self.state.specs():
+            floor = sla_floor(spec.sla)
+            achieved = self.state.yields.get(spec.sid, 0.0)
+            if achieved < floor - SLA_FLOOR_ATOL:
+                self._m_sla.labels(**{"class": spec.sla}).inc()
+                counts[spec.sla] = counts.get(spec.sla, 0) + 1
+        return counts
+
+    def replay_events(self, events: Sequence[Mapping]) -> int:
+        """Rebuild state by replaying journaled *events* in order.
+
+        Journaling and fault injection are suspended for the duration:
+        replay must neither re-journal history nor re-trip the faults
+        that shaped it.  Each record's ``mode`` forces the solve path
+        the live daemon actually took, so the rebuilt state is digest-
+        identical regardless of replay-time latency.
+        """
+        journal, faults = self._journal, self._faults
+        self._journal, self._faults = None, None
+        try:
+            with obs.span("service.recover") as sp:
+                for event in events:
+                    self._apply_event(event)
+                if obs.enabled():
+                    sp.annotate(events=len(events), active=len(self.state))
+        finally:
+            self._journal, self._faults = journal, faults
+        self._m_recovered.inc(len(events))
+        return len(events)
+
+    def _apply_event(self, event: Mapping) -> None:
+        op = event.get("op")
+        if op == "admit":
+            row = event["service"]
+            spec = ServiceSpec.from_vectors(
+                row["id"], row["req_elem"], row["req_agg"],
+                row["need_elem"], row["need_agg"], self.state.nodes.dims,
+                sla=row.get("sla", DEFAULT_SLA))
+            self.admit(spec, mode=event.get("mode", "full"))
+        elif op == "depart":
+            self.depart(event["sid"], mode=event.get("mode", "full"))
+        elif op == "drain":
+            self.drain_node(str(event["node"]))
+        elif op == "add_node":
+            self.add_node(event["elementary"], event["aggregate"],
+                          event.get("name"))
+        elif op == "strategy":
+            self.set_strategy(event["name"])
+        else:
+            raise ValueError(f"journal event with unknown op {op!r}")
 
     # -- solving -------------------------------------------------------
     def _enter_solver(self) -> None:
@@ -257,17 +422,41 @@ class AllocationController:
             return False
         return True
 
-    def _full_solve(self) -> tuple[Allocation | None, dict]:
+    def _full_solve(self) -> tuple[Allocation | None, dict,
+                                   np.ndarray | None]:
         """Warm-started full re-solve of the live set.  Returns the
-        allocation (``None`` = infeasible) and the solve info dict."""
-        instance = self.state.build_instance()
-        assert instance is not None
+        allocation (``None`` = infeasible), the solve info dict, and the
+        local→global node map when drained nodes shrank the platform.
+
+        The solver call runs under the bounded backoff: transient
+        failures (including injected ones) are retried with increasing
+        pauses, and only the exhausted retry budget propagates to the
+        caller's fallback path.
+        """
+        instance, node_map = self.state.solver_view()
+        if instance is None:
+            # Live services but no available nodes: trivially infeasible.
+            return None, {"probes": 0, "latency_ms": 0.0, "warm": False,
+                          "certified": None, "degraded": False}, None
         solver = self._solvers[self._strategy]
         hint = self._hint if self.warm_start else None
-        stats: dict = {}
+
+        def one_attempt() -> tuple[Allocation | None, dict]:
+            attempt_stats: dict = {}
+            if self._faults is not None:
+                self._faults.on_solve()
+            result = solver.solve_with_hint(instance, hint=hint,
+                                            stats=attempt_stats)
+            return result, attempt_stats
+
+        def note_retry(attempt: int, exc: Exception) -> None:
+            self._m_retries.inc()
+
         with obs.span("service.solve") as sp:
             t0 = time.perf_counter()
-            alloc = solver.solve_with_hint(instance, hint=hint, stats=stats)
+            alloc, stats = retry_bounded(one_attempt,
+                                         policy=self._solver_retry,
+                                         on_retry=note_retry)
             ms = (time.perf_counter() - t0) * 1e3
             if obs.enabled():
                 sp.annotate(mode="full", strategy=self._strategy,
@@ -289,7 +478,7 @@ class AllocationController:
         if alloc is not None:
             self._hint = stats.get("certified")
             self.last_full_solve = info
-        return alloc, info
+        return alloc, info, node_map
 
     def _retained_allocation(self) -> Allocation | None:
         """Allocation from the incumbent placement (remaining services
@@ -306,7 +495,8 @@ class AllocationController:
     def _greedy_admit(self, spec: ServiceSpec) -> tuple[Allocation | None,
                                                         dict]:
         """The degraded path: one best-fit probe for the newcomer against
-        the incumbent's requirement loads; everything else stays put."""
+        the incumbent's requirement loads; everything else stays put.
+        Drained nodes are masked out of the probe."""
         instance = self.state.build_instance()
         assert instance is not None
         t0 = time.perf_counter()
@@ -314,10 +504,17 @@ class AllocationController:
         j = len(assigned) - 1  # the newcomer is the last row
         loads = rebuild_loads(assigned, instance.services.req_agg,
                               self.state.nodes)
-        fit = elem_fit_table(instance.services.req_elem[j:j + 1],
-                             self.state.nodes)
+        mask = self.state.available_mask()
+        if mask.all():
+            fit = elem_fit_table(instance.services.req_elem[j:j + 1],
+                                 self.state.nodes)
+            cap_tol = None
+        else:
+            fit, cap_tol = masked_fit_tables(
+                instance.services.req_elem[j:j + 1], self.state.nodes,
+                mask, np.ones(len(self.state.nodes)))
         chosen = best_fit_newcomers(instance.services.req_agg[j:j + 1],
-                                    fit, loads, self.state.nodes)
+                                    fit, loads, self.state.nodes, cap_tol)
         alloc = None
         if chosen[0] >= 0:
             assigned[j] = chosen[0]
@@ -330,49 +527,73 @@ class AllocationController:
         return alloc, {"probes": 0, "latency_ms": ms, "warm": False,
                        "certified": None, "degraded": True}
 
-    # -- the two state-changing operations -----------------------------
-    def admit(self, spec: ServiceSpec) -> dict:
+    # -- the state-changing operations ---------------------------------
+    def admit(self, spec: ServiceSpec, mode: str | None = None) -> dict:
         """Admit *spec*: re-solve (or greedy-probe) and adopt the result.
         Raises :class:`ServiceError` (409) when the service cannot be
-        placed; the state is untouched in that case."""
+        placed; the state is untouched in that case.  *mode* forces the
+        solve path during journal replay (``"full"``/``"greedy"``);
+        live requests leave it ``None`` and let admission control pick.
+        """
         with self._lock:
             self._enter_solver()
             try:
                 if spec.sid in self.state:
                     raise ServiceError(409, "duplicate service id",
                                        id=spec.sid)
+                snap = self.state.checkpoint()
+                hint_snap = (self._hint, self.last_full_solve)
                 try:
                     self.state.add(spec)
                 except ValueError as exc:
                     raise ServiceError(400, str(exc)) from None
-                degraded = self._use_degraded()
+                degraded = (self._use_degraded() if mode is None
+                            else mode == "greedy")
+                node_map: np.ndarray | None = None
                 try:
                     if degraded:
                         alloc, info = self._greedy_admit(spec)
-                        if alloc is None:
-                            raise ServiceError(
-                                409, "admission rejected", id=spec.sid,
-                                reason="no node fits the requirements "
-                                       "(degraded greedy probe)")
                     else:
-                        alloc, info = self._full_solve()
-                        if alloc is None:
-                            raise ServiceError(
-                                409, "admission rejected", id=spec.sid,
-                                reason="no strategy packs the live set "
-                                       "even at yield 0")
+                        try:
+                            alloc, info, node_map = self._full_solve()
+                        except ServiceError:
+                            raise
+                        except Exception as exc:
+                            if mode is not None:
+                                raise  # replayed solves must not fail
+                            # Retry budget exhausted: degrade rather
+                            # than refuse (the greedy probe is bounded
+                            # and solver-free).
+                            alloc, info = self._greedy_admit(spec)
+                            info = {**info, "solver_error": str(exc)}
+                            node_map = None
+                    if alloc is None:
+                        reason = ("no node fits the requirements "
+                                  "(degraded greedy probe)"
+                                  if info["degraded"] else
+                                  "no strategy packs the live set "
+                                  "even at yield 0")
+                        raise ServiceError(409, "admission rejected",
+                                           id=spec.sid, reason=reason)
                 except ServiceError:
                     self.state.remove(spec.sid)
                     self._m_rejected.inc()
                     raise
+                mode_used = "greedy" if info["degraded"] else "full"
+                seq = self._commit_event(
+                    {"op": "admit", "service": spec.as_json(),
+                     "mode": mode_used}, snap, hint_snap)
                 trace_id = obs.current_trace_id()
                 self.state.apply_allocation(alloc, info["certified"],
-                                            trace_id=trace_id)
+                                            trace_id=trace_id,
+                                            node_map=node_map)
                 if trace_id is not None:
                     self.state.trace_ids[spec.sid] = trace_id
                 self._m_admitted.inc()
-                return {
+                violations = self._observe_sla()
+                response = {
                     "id": spec.sid,
+                    "sla": spec.sla,
                     "node": self.state.placement[spec.sid],
                     "node_name": self.state.nodes.names[
                         self.state.placement[spec.sid]],
@@ -380,31 +601,52 @@ class AllocationController:
                     "minimum_yield": self.state.minimum_yield(),
                     "certified_yield": self.state.certified,
                     "active": len(self.state),
+                    "sla_violations": violations,
                     "trace": trace_id,
                     **info,
                 }
+                self._after_commit(seq)
+                return response
             finally:
                 self._exit_solver()
 
-    def depart(self, sid: str) -> dict:
+    def depart(self, sid: str, mode: str | None = None) -> dict:
         """Remove service *sid* and re-solve the remaining set.  Raises
-        :class:`ServiceError` (404) for an unknown id."""
+        :class:`ServiceError` (404) for an unknown id.  *mode* forces
+        the replayed solve path (``"full"``/``"retained"``/``"empty"``).
+        """
         with self._lock:
             self._enter_solver()
             try:
                 if sid not in self.state:
                     raise ServiceError(404, "unknown service id", id=sid)
+                snap = self.state.checkpoint()
+                hint_snap = (self._hint, self.last_full_solve)
                 self.state.remove(sid)
-                self._m_departed.inc()
                 if len(self.state) == 0:
+                    seq = self._commit_event(
+                        {"op": "depart", "sid": sid, "mode": "empty"},
+                        snap, hint_snap)
                     self.state.placement = {}
                     self.state.yields = {}
+                    self._m_departed.inc()
+                    self._after_commit(seq)
                     return {"id": sid, "active": 0, "minimum_yield": None,
                             "certified_yield": None, "degraded": False}
                 info: dict = {"degraded": False}
                 alloc = None
-                if not self._use_degraded():
-                    alloc, info = self._full_solve()
+                node_map: np.ndarray | None = None
+                want_full = (not self._use_degraded() if mode is None
+                             else mode == "full")
+                if want_full:
+                    try:
+                        alloc, info, node_map = self._full_solve()
+                    except Exception as exc:
+                        if mode is not None:
+                            raise  # replayed solves must not fail
+                        info = {"degraded": False,
+                                "solver_error": str(exc)}
+                mode_used = "full"
                 if alloc is None:
                     # Degraded mode, or the solver failed outright:
                     # keep the incumbent placement (dropping a service
@@ -416,20 +658,149 @@ class AllocationController:
                         info = {**info, "certified": None,
                                 "degraded": True}
                         alloc = fallback
+                        node_map = None
+                        mode_used = "retained"
                 if alloc is None:
                     # Unreachable unless an incumbent was never placed;
                     # surface rather than serve a broken placement.
                     raise ServiceError(500, "re-solve failed after "
                                             "departure", id=sid)
+                seq = self._commit_event(
+                    {"op": "depart", "sid": sid, "mode": mode_used},
+                    snap, hint_snap)
                 self.state.apply_allocation(alloc, info.get("certified"),
-                                            trace_id=obs.current_trace_id())
-                return {
+                                            trace_id=obs.current_trace_id(),
+                                            node_map=node_map)
+                self._m_departed.inc()
+                violations = self._observe_sla()
+                response = {
                     "id": sid,
                     "active": len(self.state),
                     "minimum_yield": self.state.minimum_yield(),
                     "certified_yield": self.state.certified,
+                    "sla_violations": violations,
                     **info,
                 }
+                self._after_commit(seq)
+                return response
+            finally:
+                self._exit_solver()
+
+    def drain_node(self, ident: str) -> dict:
+        """Evacuate node *ident* (index or name): re-solve the live set
+        over the remaining nodes and adopt the result.  Refused with 409
+        when the survivors cannot host the live set — a drain never
+        degrades the placement below feasibility."""
+        with self._lock:
+            self._enter_solver()
+            try:
+                try:
+                    idx = self.state.resolve_node(ident)
+                except KeyError as exc:
+                    raise ServiceError(404, str(exc)) from None
+                snap = self.state.checkpoint()
+                hint_snap = (self._hint, self.last_full_solve)
+                try:
+                    self.state.drain_node(idx)
+                except ValueError as exc:
+                    raise ServiceError(409, str(exc)) from None
+                resolved = False
+                alloc, info, node_map = None, {"certified": None}, None
+                if len(self.state):
+                    try:
+                        alloc, info, node_map = self._full_solve()
+                    except ServiceError:
+                        raise
+                    except Exception as exc:
+                        alloc = None
+                        info = {"certified": None,
+                                "solver_error": str(exc)}
+                    if alloc is None:
+                        self.state.restore(snap)
+                        self._hint, self.last_full_solve = hint_snap
+                        raise ServiceError(
+                            409, "drain refused: remaining nodes cannot "
+                                 "host the live set", node=idx,
+                            **({"solver_error": info["solver_error"]}
+                               if "solver_error" in info else {}))
+                    resolved = True
+                seq = self._commit_event(
+                    {"op": "drain", "node": idx, "resolved": resolved},
+                    snap, hint_snap)
+                if resolved:
+                    assert alloc is not None
+                    self.state.apply_allocation(
+                        alloc, info.get("certified"),
+                        trace_id=obs.current_trace_id(), node_map=node_map)
+                self._m_node_events.labels(kind="drain").inc()
+                violations = self._observe_sla()
+                response = {
+                    "node": idx,
+                    "node_name": self.state.nodes.names[idx],
+                    "drained": sorted(self.state.drained),
+                    "resolved": resolved,
+                    "active": len(self.state),
+                    "minimum_yield": self.state.minimum_yield(),
+                    "certified_yield": self.state.certified,
+                    "sla_violations": violations,
+                }
+                self._after_commit(seq)
+                return response
+            finally:
+                self._exit_solver()
+
+    def add_node(self, elementary: Sequence[float],
+                 aggregate: Sequence[float],
+                 name: str | None = None) -> dict:
+        """Grow the platform by one node and re-solve opportunistically.
+        The incumbent placement is kept when the solver fails — adding
+        capacity never invalidates it."""
+        with self._lock:
+            self._enter_solver()
+            try:
+                snap = self.state.checkpoint()
+                hint_snap = (self._hint, self.last_full_solve)
+                try:
+                    idx = self.state.add_node(elementary, aggregate, name)
+                except ValueError as exc:
+                    raise ServiceError(400, str(exc)) from None
+                resolved = False
+                alloc, info, node_map = None, {"certified": None}, None
+                if len(self.state):
+                    try:
+                        alloc, info, node_map = self._full_solve()
+                    except ServiceError:
+                        raise
+                    except Exception as exc:
+                        alloc = None
+                        info = {"certified": None,
+                                "solver_error": str(exc)}
+                    resolved = alloc is not None
+                seq = self._commit_event(
+                    {"op": "add_node",
+                     "elementary": list(np.asarray(elementary, float)),
+                     "aggregate": list(np.asarray(aggregate, float)),
+                     "name": name, "resolved": resolved},
+                    snap, hint_snap)
+                if resolved:
+                    assert alloc is not None
+                    self.state.apply_allocation(
+                        alloc, info.get("certified"),
+                        trace_id=obs.current_trace_id(), node_map=node_map)
+                self._m_node_events.labels(kind="add").inc()
+                violations = self._observe_sla()
+                response = {
+                    "node": idx,
+                    "node_name": self.state.nodes.names[idx],
+                    "hosts": len(self.state.nodes),
+                    "resolved": resolved,
+                    "active": len(self.state),
+                    "minimum_yield": self.state.minimum_yield(),
+                    "certified_yield": self.state.certified,
+                    "sla_violations": violations,
+                }
+                self._after_commit(seq)
+                return response
             finally:
                 self._exit_solver()
 
@@ -482,6 +853,9 @@ class AllocationController:
                        "warm_solves": int(self._m_warm.value),
                        "degraded_solves": self._solve_count("degraded"),
                        "fallback_solves": self._solve_count("fallback"),
+                       "solver_retries": int(self._m_retries.value),
+                       "journal_errors": int(
+                           self._m_journal_errors.value),
                        "total_probes": int(self._m_probes.value),
                        "last_full_solve": self.last_full_solve,
                        "max_concurrent_solves": self.max_concurrent_solves},

@@ -7,14 +7,16 @@ the answer — all placement logic and locking lives in the controller.
 
 Endpoints::
 
-    POST   /alloc        admit a service (explicit vectors or sampled)
-    DELETE /alloc/{id}   departure + incremental re-solve
-    GET    /state        placement, per-node loads, yields
-    GET    /strategy     current solver strategy
-    POST   /strategy     switch the solver strategy at runtime
-    GET    /healthz      liveness
-    GET    /metrics      Prometheus text exposition (scrape target);
-                         ``?format=json`` keeps the legacy JSON view
+    POST   /alloc             admit a service (explicit vectors or sampled)
+    DELETE /alloc/{id}        departure + incremental re-solve
+    POST   /nodes             add a node to the platform (re-solves)
+    POST   /nodes/{id}/drain  evacuate a node (409 if infeasible)
+    GET    /state             placement, per-node loads, yields, digest
+    GET    /strategy          current solver strategy
+    POST   /strategy          switch the solver strategy at runtime
+    GET    /healthz           liveness
+    GET    /metrics           Prometheus text exposition (scrape target);
+                              ``?format=json`` keeps the legacy JSON view
 
 Every request runs under a fresh trace id, returned in an
 ``X-Repro-Trace`` response header (and, for admissions, attached to the
@@ -27,12 +29,19 @@ so the default INFO level stays readable.
 Binding to port 0 picks an ephemeral port; :func:`run_server` prints the
 actual bound address on stdout before serving (CI and parallel local
 runs parse it).
+
+``SIGTERM`` triggers a clean drain: the serve loop stops, in-flight
+requests finish, the event journal is flushed and closed under the
+controller lock, and the process exits 0 — the lifecycle tests assert
+exactly this, and that a restart from the journal reproduces the state.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs
 
@@ -120,6 +129,10 @@ class _Handler(BaseHTTPRequestHandler):
                 return handler(self)
             if method == "DELETE" and path.startswith("/alloc/"):
                 return self._delete_alloc(path[len("/alloc/"):])
+            if (method == "POST" and path.startswith("/nodes/")
+                    and path.endswith("/drain")):
+                ident = path[len("/nodes/"):-len("/drain")]
+                return self._post_drain(ident)
             raise ServiceError(404, f"no route for {method} {path}")
         except ServiceError as exc:
             self._reply(exc.status, exc.payload)
@@ -189,8 +202,11 @@ class _Handler(BaseHTTPRequestHandler):
         sid = body.get("id")
         if sid is not None and not isinstance(sid, str):
             raise ServiceError(400, "'id' must be a string")
+        sla = body.get("sla", "best-effort")
+        if not isinstance(sla, str):
+            raise ServiceError(400, "'sla' must be a string")
         if body.get("sample"):
-            spec = ctl.sample_spec(sid)
+            spec = ctl.sample_spec(sid, sla=sla)
         else:
             missing = [k for k in ("req_elem", "req_agg",
                                    "need_elem", "need_agg")
@@ -204,7 +220,7 @@ class _Handler(BaseHTTPRequestHandler):
                     sid or ctl.next_service_id(),
                     body["req_elem"], body["req_agg"],
                     body["need_elem"], body["need_agg"],
-                    dims=ctl.state.nodes.dims)
+                    dims=ctl.state.nodes.dims, sla=sla)
             except (TypeError, ValueError) as exc:
                 raise ServiceError(400, str(exc)) from None
         self._reply(200, ctl.admit(spec))
@@ -216,6 +232,30 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError(400, "DELETE /alloc/{id} needs a service id")
         self._reply(200, ctl.depart(sid))
 
+    def _post_nodes(self) -> None:
+        ctl = self.controller
+        ctl.count_request("nodes")
+        body = self._read_json()
+        missing = [k for k in ("elementary", "aggregate") if k not in body]
+        if missing:
+            raise ServiceError(400, f"missing capacity vectors {missing}")
+        name = body.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ServiceError(400, "'name' must be a string")
+        try:
+            result = ctl.add_node(body["elementary"], body["aggregate"], name)
+        except TypeError as exc:
+            raise ServiceError(400, str(exc)) from None
+        self._reply(200, result)
+
+    def _post_drain(self, ident: str) -> None:
+        ctl = self.controller
+        ctl.count_request("drain")
+        if not ident:
+            raise ServiceError(400, "POST /nodes/{id}/drain needs a node "
+                                    "index or name")
+        self._reply(200, ctl.drain_node(ident))
+
 
 _ROUTES = {
     ("GET", "/healthz"): _Handler._get_healthz,
@@ -224,6 +264,7 @@ _ROUTES = {
     ("GET", "/strategy"): _Handler._get_strategy,
     ("POST", "/strategy"): _Handler._post_strategy,
     ("POST", "/alloc"): _Handler._post_alloc,
+    ("POST", "/nodes"): _Handler._post_nodes,
 }
 
 
@@ -242,15 +283,34 @@ def run_server(server: AllocationHTTPServer) -> None:
 
     The stdout line is machine-parseable on purpose — ``--port 0`` runs
     (CI smoke, parallel local daemons) grep the port out of it.
+
+    ``SIGTERM`` (when running on the main thread) and ``Ctrl-C`` both
+    drain cleanly: stop accepting, let in-flight requests finish, close
+    the journal under the controller lock, exit 0.  ``server.shutdown``
+    must not be called from the serve thread itself, so the signal
+    handler hands it to a helper thread.
     """
     host, port = server.server_address[:2]
     ctl = server.controller
     print(f"repro serve: listening on http://{host}:{port} "  # repro: noqa[LY301]
           f"(strategy {ctl.strategy}, {len(ctl.state.nodes)} hosts, "
           f"workload {workload_id(ctl.workload)})", flush=True)
+
+    def _on_sigterm(signum: int, frame: object) -> None:
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    prev_handler: object = None
+    installed = False
+    if threading.current_thread() is threading.main_thread():
+        prev_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+        installed = True
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+        ctl.quiesce()
+        if installed:
+            signal.signal(signal.SIGTERM, prev_handler)  # type: ignore[arg-type]
+        print("repro serve: drained and stopped", flush=True)  # repro: noqa[LY301]

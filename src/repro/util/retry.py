@@ -1,0 +1,79 @@
+"""Named bounded retry-with-backoff.
+
+Transient faults (a solver hiccup, a slow disk, an injected failure from
+:mod:`repro.service.faults`) deserve a *bounded* number of retries with
+growing pauses — never an unbounded hand-rolled ``while True: try/except``
+loop.  The static-analysis rule ``RB401`` enforces exactly that in the
+``service/`` and ``dynamic/`` packages: retry loops there must go through
+this helper, whose attempt count and total sleep are capped by
+construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Tuple, Type, TypeVar
+
+__all__ = ["BackoffPolicy", "DEFAULT_BACKOFF", "retry_bounded"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded exponential backoff: ``attempts`` tries total, sleeping
+    ``base_delay * multiplier**i`` (capped at ``max_delay``) between
+    consecutive tries."""
+
+    attempts: int = 3
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Pause after failed attempt *attempt* (0-based)."""
+        return min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+
+
+DEFAULT_BACKOFF = BackoffPolicy()
+
+
+def retry_bounded(fn: Callable[[], T],
+                  *,
+                  policy: BackoffPolicy = DEFAULT_BACKOFF,
+                  retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+                  sleep: Callable[[float], None] = time.sleep,
+                  on_retry: Callable[[int, BaseException], None] | None = None,
+                  ) -> T:
+    """Call *fn* up to ``policy.attempts`` times; re-raise the last error.
+
+    Only exceptions matching *retry_on* are retried; anything else
+    propagates immediately.  *on_retry* is invoked with the 0-based
+    failed-attempt index and the exception before each pause — the
+    caller's chance to count the retry on a metric.  *sleep* is
+    injectable for tests.
+    """
+    last: BaseException | None = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            if attempt + 1 >= policy.attempts:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            pause = policy.delay(attempt)
+            if pause > 0:
+                sleep(pause)
+    assert last is not None
+    raise last

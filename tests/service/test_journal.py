@@ -1,0 +1,109 @@
+"""The append-only service event journal: durability and replay."""
+
+import json
+
+import pytest
+
+from repro.service import EventJournal, JournalError, load_journal
+from repro.service.journal import JOURNAL_VERSION, RECORD_KIND
+
+
+def read_lines(path):
+    return path.read_text().splitlines()
+
+
+class TestAppend:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = EventJournal(path)
+        events = [{"op": "admit", "service": {"id": "svc0"},
+                   "mode": "full"},
+                  {"op": "depart", "sid": "svc0", "mode": "full"}]
+        assert [journal.append(ev) for ev in events] == [0, 1]
+        journal.close()
+        assert load_journal(path) == events
+
+    def test_records_carry_version_and_seq(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = EventJournal(path)
+        journal.append({"op": "strategy", "name": "GREEDY"})
+        journal.close()
+        record = json.loads(read_lines(path)[0])
+        assert record["v"] == JOURNAL_VERSION
+        assert record["kind"] == RECORD_KIND
+        assert record["seq"] == 0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_journal(tmp_path / "nope.jsonl") == []
+
+    def test_closed_journal_refuses(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl")
+        journal.append({"op": "strategy", "name": "GREEDY"})
+        journal.close()
+        assert journal.closed
+        with pytest.raises(JournalError, match="closed"):
+            journal.append({"op": "strategy", "name": "GREEDY"})
+
+    def test_start_seq_continues_numbering(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        first = EventJournal(path)
+        first.append({"op": "strategy", "name": "A"})
+        first.close()
+        second = EventJournal(path, start_seq=1)
+        assert second.append({"op": "strategy", "name": "B"}) == 1
+        second.close()
+        assert len(load_journal(path)) == 2
+
+
+class TestValidation:
+    def test_seq_gap_rejected(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = EventJournal(path)
+        journal.append({"op": "strategy", "name": "A"})
+        journal.append({"op": "strategy", "name": "B"})
+        journal.close()
+        lines = read_lines(path)
+        path.write_text(lines[1] + "\n")  # drop seq 0
+        with pytest.raises(JournalError, match="seq"):
+            load_journal(path)
+
+    def test_foreign_kind_rejected(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(json.dumps(
+            {"v": 1, "kind": "checkpoint", "seq": 0, "event": {}}) + "\n")
+        with pytest.raises(JournalError, match="kind"):
+            load_journal(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(json.dumps(
+            {"v": 99, "kind": RECORD_KIND, "seq": 0, "event": {}}) + "\n")
+        with pytest.raises(JournalError, match="version"):
+            load_journal(path)
+
+
+class TestCrashRecovery:
+    def test_torn_tail_line_is_dropped(self, tmp_path):
+        """A crash mid-write leaves a truncated last line; reopening
+        keeps every complete record and discards the torn one."""
+        path = tmp_path / "events.jsonl"
+        journal = EventJournal(path)
+        journal.append({"op": "strategy", "name": "A"})
+        journal.append({"op": "strategy", "name": "B"})
+        journal.close()
+        whole = path.read_text()
+        path.write_text(whole + '{"v": 1, "kind": "service-even')
+        events = load_journal(path)
+        assert [ev["name"] for ev in events] == ["A", "B"]
+
+    def test_append_after_repair_is_contiguous(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = EventJournal(path)
+        journal.append({"op": "strategy", "name": "A"})
+        journal.close()
+        path.write_text(path.read_text() + '{"torn')
+        events = load_journal(path)
+        journal = EventJournal(path, start_seq=len(events))
+        journal.append({"op": "strategy", "name": "B"})
+        journal.close()
+        assert [ev["name"] for ev in load_journal(path)] == ["A", "B"]

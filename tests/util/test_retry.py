@@ -1,0 +1,76 @@
+"""Bounded retry-with-backoff helper."""
+
+import pytest
+
+from repro.util.retry import BackoffPolicy, retry_bounded
+
+
+def flaky(failures: int, exc=RuntimeError):
+    """A callable that raises *failures* times, then returns its count."""
+    calls = {"n": 0}
+
+    def fn():
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            raise exc(f"boom {calls['n']}")
+        return calls["n"]
+
+    fn.calls = calls
+    return fn
+
+
+class TestRetryBounded:
+    def test_first_try_success_no_sleep(self):
+        slept = []
+        assert retry_bounded(flaky(0), sleep=slept.append) == 1
+        assert slept == []
+
+    def test_recovers_within_budget(self):
+        slept = []
+        fn = flaky(2)
+        policy = BackoffPolicy(attempts=3, base_delay=0.01,
+                               multiplier=2.0, max_delay=1.0)
+        assert retry_bounded(fn, policy=policy, sleep=slept.append) == 3
+        assert fn.calls["n"] == 3
+        assert slept == [0.01, 0.02]
+
+    def test_exhaustion_reraises_last_error(self):
+        fn = flaky(99)
+        with pytest.raises(RuntimeError, match="boom 2"):
+            retry_bounded(fn, policy=BackoffPolicy(attempts=2, base_delay=0),
+                          sleep=lambda _: None)
+        assert fn.calls["n"] == 2
+
+    def test_non_matching_exception_propagates_immediately(self):
+        fn = flaky(5, exc=KeyError)
+        with pytest.raises(KeyError):
+            retry_bounded(fn, retry_on=(ValueError,), sleep=lambda _: None)
+        assert fn.calls["n"] == 1
+
+    def test_on_retry_sees_each_failed_attempt(self):
+        seen = []
+        retry_bounded(flaky(2),
+                      policy=BackoffPolicy(attempts=3, base_delay=0),
+                      on_retry=lambda i, exc: seen.append((i, str(exc))),
+                      sleep=lambda _: None)
+        assert seen == [(0, "boom 1"), (1, "boom 2")]
+
+    def test_delay_is_capped(self):
+        policy = BackoffPolicy(attempts=6, base_delay=0.01,
+                               multiplier=10.0, max_delay=0.05)
+        assert policy.delay(0) == 0.01
+        assert policy.delay(3) == 0.05  # would be 10.0 uncapped
+
+
+class TestPolicyValidation:
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(attempts=0)
+
+    def test_delays_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay=-0.1)
+
+    def test_multiplier_must_not_shrink(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
