@@ -1,5 +1,6 @@
 """Vector-packing heuristics (§3.5): FF/BF/PP/CP, sorts, and META* combinators."""
 
+from .batch_solve import FusedProbeEngine, solve_many
 from .best_fit import best_fit
 from .first_fit import first_fit
 from .meta import (
@@ -39,6 +40,7 @@ __all__ = [
     "FF",
     "META_STRATEGY_FAMILIES",
     "FastProbeContext",
+    "FusedProbeEngine",
     "MetaProbeEngine",
     "MetaSolver",
     "NONE_SORT",
@@ -65,6 +67,7 @@ __all__ = [
     "rank_from_order",
     "run_strategy",
     "single_strategy_algorithm",
+    "solve_many",
     "strategy_packer",
     "vp_strategies",
 ]

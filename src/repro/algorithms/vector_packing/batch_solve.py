@@ -1,0 +1,335 @@
+"""Batched solving: ``solve_many`` and the fused META* probe engine.
+
+Sequential META* solving spends most of its wall-clock not in the packing
+arithmetic but in per-strategy Python dispatch: every feasibility probe
+walks the strategy list from Python, paying a kernel-call round trip
+(argument marshalling, ctypes/numba boundary) per strategy — thousands of
+round trips per instance.  :class:`FusedProbeEngine` collapses each probe
+to **one** kernel call: the strategy list is compiled once into an int64
+strategy table (packer id, item/bin order rows, window, flags) and the
+backend's fused ``probe_scan`` kernel scans it at the probed yield,
+returning the first strategy that packs together with its placement.
+
+The engine is a drop-in :data:`~repro.algorithms.yield_search.Packer`
+with the exact observable behavior of
+:class:`~.probe_engine.MetaProbeEngine` — same placements, same certified
+yields, same ``probes``/``strategy_runs`` counters, same adaptive
+hint-first scan order — so batched and sequential solves are
+bit-identical (asserted by the cross-backend equivalence tests).
+
+:func:`solve_many` carries a whole batch of instances through this path:
+one batched kernel call builds every instance's yield-threshold tables
+(:class:`~repro.kernels.batch.BatchInstances` + ``batch_fit_thresholds``),
+then the per-instance searches run — from a thread pool when multiple
+cores are available; the ``nogil`` numba kernels and the C loops release
+the GIL for the scan itself.  Backends without a fused kernel (numpy)
+degrade per instance to the per-strategy engine, same results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ... import obs
+from ...core.allocation import Allocation
+from ...core.instance import ProblemInstance
+from ...kernels import get_backend
+from ...kernels.api import ProbeScanArgs
+from ...kernels.batch import BatchInstances
+from ..yield_search import DEFAULT_TOLERANCE, binary_search_max_yield
+from .permutation_pack import packed_codes
+from .probe_engine import MetaProbeEngine, YieldProbeFactory
+from .sorting import order_indices
+from .state import capacity_tolerance
+from .strategies import BF, CP, FF, VPStrategy
+
+__all__ = ["FusedProbeEngine", "solve_many"]
+
+
+class FusedProbeEngine:
+    """One-kernel-call-per-probe META* feasibility oracle.
+
+    Construction compiles the strategy list into the flat table the
+    backend's ``probe_scan`` kernel consumes; ``supported`` reports
+    whether this backend/instance pair can run fused (callers fall back
+    to :class:`~.probe_engine.MetaProbeEngine` when it cannot).
+    """
+
+    def __init__(self, instance: ProblemInstance,
+                 strategies: Sequence[VPStrategy],
+                 factory: Optional[YieldProbeFactory] = None):
+        if factory is not None and factory.instance is not instance:
+            raise ValueError("factory was built for a different instance")
+        self.strategies = tuple(strategies)
+        self.factory = factory or YieldProbeFactory(instance)
+        self.instance = instance
+        self.backend = get_backend()
+        self.hint: Optional[int] = None
+        self.probes = 0
+        self.strategy_runs = 0
+
+        nd = instance.nodes
+        J = len(instance.services)
+        H = len(nd)
+        D = instance.services.req_agg.shape[1]
+        self._J, self._H, self._D = J, H, D
+        self._cap_tol = np.ascontiguousarray(
+            nd.aggregate + capacity_tolerance(nd.aggregate))
+        self._bin_agg = np.ascontiguousarray(nd.aggregate, dtype=np.float64)
+        self._bin_agg_sum = np.ascontiguousarray(
+            self._bin_agg.sum(axis=1))
+
+        # Unique item sorts / bin sorts in first-appearance order.
+        self._item_sorts: list = []
+        item_index: dict = {}
+        bin_sorts: list = []
+        bin_index: dict = {}
+        for st in self.strategies:
+            if st.item_sort not in item_index:
+                item_index[st.item_sort] = len(self._item_sorts)
+                self._item_sorts.append(st.item_sort)
+            if st.packer != BF and st.bin_sort not in bin_index:
+                bin_index[st.bin_sort] = len(bin_sorts)
+                bin_sorts.append(st.bin_sort)
+        if bin_sorts:
+            self._bin_orders = np.ascontiguousarray(
+                np.stack([self.factory.bin_order(s) for s in bin_sorts]),
+                dtype=np.int64)
+        else:
+            self._bin_orders = np.empty((0, H), dtype=np.int64)
+
+        # The strategy table (see _loops.make_probe_scan for semantics).
+        S = len(self.strategies)
+        cols = {name: np.empty(S, dtype=np.int64) for name in
+                ("packer", "item", "bin", "hetero", "w", "choose", "cfg")}
+        self._cfgs: list = []        # (item_sort_row, w, choose) for D==2
+        cfg_index: dict = {}
+        overflow = False
+        for s, st in enumerate(self.strategies):
+            cols["item"][s] = item_index[st.item_sort]
+            cols["hetero"][s] = 1 if st.hetero else 0
+            cols["w"][s] = 1
+            cols["choose"][s] = 0
+            cols["cfg"][s] = -1
+            if st.packer == FF:
+                cols["packer"][s] = 0
+                cols["bin"][s] = bin_index[st.bin_sort]
+            elif st.packer == BF:
+                cols["packer"][s] = 1
+                cols["bin"][s] = -1
+            else:
+                cols["packer"][s] = 2
+                cols["bin"][s] = bin_index[st.bin_sort]
+                w = D if st.window is None else max(1, min(st.window, D))
+                cols["w"][s] = w
+                choose = st.packer == CP
+                cols["choose"][s] = 1 if choose else 0
+                if D ** w * (J + 1) >= 2 ** 62:
+                    overflow = True    # needs the legacy fallback
+                elif D == 2:
+                    key = (int(cols["item"][s]), w, choose)
+                    row = cfg_index.get(key)
+                    if row is None:
+                        row = cfg_index[key] = len(self._cfgs)
+                        self._cfgs.append(key)
+                    cols["cfg"][s] = row
+        self._cols = cols
+        self._scan_cold = np.arange(S, dtype=np.int64)
+        #: Whether the fused kernel can answer probes for this pairing.
+        self.supported = self.backend.supports_probe_scan and not overflow
+
+    @property
+    def hint_strategy(self) -> Optional[VPStrategy]:
+        """The strategy that packed the most recent feasible probe."""
+        return None if self.hint is None else self.strategies[self.hint]
+
+    def __call__(self, instance: ProblemInstance,
+                 y: float) -> Optional[np.ndarray]:
+        if instance is not self.instance:
+            raise ValueError("engine is bound to a different instance")
+        if not obs.enabled():
+            return self._probe(y)
+        runs_before = self.strategy_runs
+        hint_before = self.hint
+        with obs.span("meta.probe") as sp:
+            placement = self._probe(y)
+            sp.annotate(y=round(y, 6), feasible=placement is not None,
+                        strategy_runs=self.strategy_runs - runs_before,
+                        hint_hit=(placement is not None
+                                  and self.hint == hint_before
+                                  and hint_before is not None))
+        return placement
+
+    def _probe(self, y: float) -> Optional[np.ndarray]:
+        """One fused feasibility probe."""
+        self.probes += 1
+        if y > self.factory.infeasible_above:
+            return None
+        sv = self.instance.services
+        J, D = self._J, self._D
+        item_agg = np.ascontiguousarray(sv.req_agg + y * sv.need_agg)
+        item_agg_sum = item_agg.sum(axis=1)
+        elem_ok = np.ascontiguousarray(self.factory.y_elem_max >= y)
+        SI = len(self._item_sorts)
+        item_orders = np.empty((SI, J), dtype=np.int64)
+        tie_ranks = np.empty((SI, J), dtype=np.int64)
+        arange_j = np.arange(J, dtype=np.int64)
+        for i, sort in enumerate(self._item_sorts):
+            order = order_indices(item_agg, sort)
+            item_orders[i] = order
+            tie_ranks[i][order] = arange_j
+        item_dim_perm = np.ascontiguousarray(
+            np.argsort(-item_agg, axis=1, kind="stable"), dtype=np.int64)
+        NC = len(self._cfgs)
+        if NC:
+            pp_order0 = np.empty((NC, J), dtype=np.int64)
+            pp_order1 = np.empty((NC, J), dtype=np.int64)
+            for c, (row, w, choose) in enumerate(self._cfgs):
+                perm_w = item_dim_perm[:, :w]
+                tie = tie_ranks[row]
+                pp_order0[c] = np.argsort(
+                    packed_codes(perm_w, (0, 1), D, J, tie, choose))
+                pp_order1[c] = np.argsort(
+                    packed_codes(perm_w, (1, 0), D, J, tie, choose))
+        else:
+            pp_order0 = np.empty((0, J), dtype=np.int64)
+            pp_order1 = pp_order0
+        S = self._scan_cold.shape[0]
+        hint = self.hint
+        if hint is None:
+            scan = self._scan_cold
+        else:
+            # Hint-first, then list order — the MetaProbeEngine scan.
+            scan = np.empty(S, dtype=np.int64)
+            scan[0] = hint
+            scan[1:hint + 1] = self._scan_cold[:hint]
+            scan[hint + 1:] = self._scan_cold[hint + 1:]
+        cols = self._cols
+        si, assignment = self.backend.probe_scan(ProbeScanArgs(
+            item_agg=item_agg, item_agg_sum=item_agg_sum, elem_ok=elem_ok,
+            cap_tol=self._cap_tol, bin_agg=self._bin_agg,
+            bin_agg_sum=self._bin_agg_sum, item_orders=item_orders,
+            tie_ranks=tie_ranks, bin_orders=self._bin_orders,
+            item_dim_perm=item_dim_perm, pp_order0=pp_order0,
+            pp_order1=pp_order1, st_packer=cols["packer"],
+            st_item=cols["item"], st_bin=cols["bin"],
+            st_hetero=cols["hetero"], st_w=cols["w"],
+            st_choose=cols["choose"], st_cfg=cols["cfg"], scan=scan))
+        if si < 0:
+            self.strategy_runs += S
+            return None
+        self.strategy_runs += si + 1
+        self.hint = int(scan[si])
+        return assignment
+
+
+def _make_engine(instance: ProblemInstance,
+                 strategies: Sequence[VPStrategy],
+                 factory: Optional[YieldProbeFactory]):
+    """Fused engine when the backend/instance pair supports it, else the
+    per-strategy adaptive engine — identical observable behavior."""
+    engine = FusedProbeEngine(instance, strategies, factory)
+    if engine.supported:
+        return engine
+    return MetaProbeEngine(instance, strategies, engine.factory)
+
+
+def _batched_factories(
+        instances: Sequence[ProblemInstance]) -> List[YieldProbeFactory]:
+    """Per-instance probe factories off one batched threshold kernel call.
+
+    Bit-identical to per-instance construction: the batched kernel runs
+    the same scalar threshold arithmetic per (item, bin) pair, and each
+    instance reads back exactly its rows.
+    """
+    batch = BatchInstances.from_ragged(
+        [(inst.services.req_elem, inst.services.req_agg,
+          inst.services.need_elem, inst.services.need_agg)
+         for inst in instances],
+        [(inst.nodes.elementary, inst.nodes.aggregate)
+         for inst in instances])
+    backend = get_backend()
+    cap_elem = batch.cap_elem + capacity_tolerance(batch.cap_elem)
+    cap_agg = batch.cap_agg + capacity_tolerance(batch.cap_agg)
+    ye_all = backend.batch_fit_thresholds(
+        batch.req_elem, batch.need_elem, cap_elem,
+        batch.n_items, batch.n_bins)
+    ya_all = backend.batch_fit_thresholds(
+        batch.req_agg, batch.need_agg, cap_agg,
+        batch.n_items, batch.n_bins)
+    factories = []
+    for b, inst in enumerate(instances):
+        j = int(batch.n_items[b])
+        h = int(batch.n_bins[b])
+        factories.append(YieldProbeFactory(inst, thresholds=(
+            np.ascontiguousarray(ye_all[b, :j, :h]),
+            np.ascontiguousarray(ya_all[b, :j, :h]))))
+    return factories
+
+
+def solve_many(
+    instances: Sequence[ProblemInstance],
+    strategies: Sequence[VPStrategy],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    improve: bool = True,
+    hints: Optional[Sequence[Optional[float]]] = None,
+    stats: Optional[Sequence[dict]] = None,
+    threads: Optional[int] = None,
+) -> List[Optional[Allocation]]:
+    """Solve a batch of instances with one META* strategy list.
+
+    Equivalent to (and bit-identical with) a loop of per-instance
+    ``MetaSolver.solve_with_hint`` calls, but with shared batched
+    precomputation and one fused kernel call per probe.  *hints* and
+    *stats* are per-instance, parallel to *instances*; each stats dict is
+    filled by the yield search and additionally receives ``seconds``
+    (this instance's solve wall-clock).  *threads* caps the worker pool
+    (default: one per instance up to the CPU count; pass 1 to force
+    in-thread execution).
+    """
+    B = len(instances)
+    if B == 0:
+        return []
+    if hints is not None and len(hints) != B:
+        raise ValueError("hints length must match instances")
+    if stats is not None and len(stats) != B:
+        raise ValueError("stats length must match instances")
+    dims = {inst.services.req_agg.shape[1] for inst in instances}
+    backend = get_backend()
+    with obs.span("kernel.batch") as sp:
+        if B > 1 and len(dims) == 1:
+            factories = _batched_factories(instances)
+        else:
+            factories = [None] * B  # engines build their own
+        engines = [_make_engine(inst, strategies, factories[i])
+                   for i, inst in enumerate(instances)]
+        fused = sum(1 for e in engines if isinstance(e, FusedProbeEngine))
+        if obs.enabled():
+            sp.annotate(batch=B, backend=backend.name,
+                        dim=(dims.pop() if len(dims) == 1 else None),
+                        fused=fused)
+
+        def solve_one(i: int) -> Optional[Allocation]:
+            st = stats[i] if stats is not None else {}
+            start = time.perf_counter()
+            alloc = binary_search_max_yield(
+                instances[i], engines[i], tolerance=tolerance,
+                improve=improve,
+                hint=None if hints is None else hints[i], stats=st)
+            st["seconds"] = time.perf_counter() - start
+            return alloc
+
+        if threads is None:
+            threads = min(B, os.cpu_count() or 1)
+        if threads > 1:
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                results = list(pool.map(solve_one, range(B)))
+        else:
+            results = [solve_one(i) for i in range(B)]
+    return results

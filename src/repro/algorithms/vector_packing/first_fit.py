@@ -8,12 +8,11 @@ capacity metric.
 Kernel: item-by-item First-Fit is equivalent to filling the bins one at a
 time — an item lands on bin *h* iff it fits the load built by the earlier
 items already on *h*, a decision independent of every other bin.  Filling
-one bin greedily in item order is then a straight scan.  For the paper's
-2-D instances the scan dispatches to the active kernel backend
+one bin greedily in item order is then a straight scan.  The scan
+dispatches to the active kernel backend for any dimension count
 (:mod:`repro.kernels`: numpy scalar loop, numba JIT, or native C — all
-bit-identical); the general-D path does the same scan with a vectorized
-cumulative-sum over the candidate segment.  The seed per-item kernel
-survives in :mod:`.legacy` as the equivalence baseline.
+bit-identical); backend choice never depends on D.  The seed per-item
+kernel survives in :mod:`.legacy` as the equivalence baseline.
 """
 
 from __future__ import annotations
@@ -32,51 +31,4 @@ def first_fit(state: PackingState, item_order: np.ndarray,
 
     ``item_order`` and ``bin_order`` are index arrays (permutations).
     """
-    if state.item_agg.shape[1] == 2:
-        return get_backend().first_fit_2d(state, item_order, bin_order)
-    return _first_fit_general(state, item_order, bin_order)
-
-
-def _first_fit_general(state: PackingState, item_order: np.ndarray,
-                       bin_order: np.ndarray) -> bool:
-    """Vectorized cumulative-sum fill for D != 2."""
-    item_agg = state.item_agg
-    pending = np.asarray(item_order, dtype=np.int64)
-    for h in bin_order:
-        if pending.size == 0:
-            break
-        h = int(h)
-        allowed = state.elem_ok[pending, h]
-        cands = pending[allowed]                       # still in item order
-        if cands.size == 0:
-            continue
-        cap = state.bin_cap_tol[h] - state.loads[h]    # (D,)
-        taken = np.zeros(cands.size, dtype=bool)
-        base = np.zeros_like(cap)
-        start = 0
-        while start < cands.size:
-            seg = cands[start:]
-            csum = base + np.cumsum(item_agg[seg], axis=0)
-            fits = (csum <= cap).all(axis=1)
-            k = int(np.argmin(fits))                   # first violation
-            if fits[k]:
-                taken[start:] = True                   # whole tail fits
-                break
-            taken[start:start + k] = True
-            if k > 0:
-                base = csum[k - 1]
-            # Item seg[k] pushed the running load over capacity.  Any
-            # following item that does not fit *alone* at the new load can
-            # never fit this bin (the load only grows): jump straight to
-            # the first one that does.
-            alone = (base + item_agg[seg[k:]] <= cap).all(axis=1)
-            m = int(np.argmax(alone))
-            if not alone[m]:
-                break                                  # bin exhausted
-            start += k + m
-        if taken.any():
-            state.place_many(cands[taken], h)
-            keep = np.ones(pending.size, dtype=bool)
-            keep[np.flatnonzero(allowed)[taken]] = False
-            pending = pending[keep]
-    return pending.size == 0
+    return get_backend().first_fit(state, item_order, bin_order)

@@ -19,7 +19,8 @@ Two probe engines implement the oracle:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import time
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from ...core.allocation import Allocation
 from ...core.instance import ProblemInstance
 from ..base import NamedAlgorithm
 from ..yield_search import DEFAULT_TOLERANCE, binary_search_max_yield
+from .batch_solve import solve_many as _solve_many
 from .probe_engine import MetaProbeEngine
 from .strategies import (
     ProbeContext,
@@ -118,6 +120,38 @@ class MetaSolver:
         return binary_search_max_yield(
             instance, oracle, tolerance=self.tolerance,
             improve=self.improve, hint=hint, stats=stats)
+
+    def solve_many(self, instances: Sequence[ProblemInstance],
+                   hints: Optional[Sequence[Optional[float]]] = None,
+                   stats: Optional[Sequence[dict]] = None,
+                   threads: Optional[int] = None
+                   ) -> List[Optional[Allocation]]:
+        """Solve a batch of instances; results match a
+        :meth:`solve_with_hint` loop exactly (placements, certified
+        yields, probe counts).
+
+        The v2 engine routes through the batched kernel entry point
+        (:func:`~.batch_solve.solve_many`): shared threshold
+        precomputation and one fused kernel call per probe.  *hints* and
+        *stats* are per-instance lists parallel to *instances*; each
+        stats dict additionally receives ``seconds`` (that instance's
+        solve wall-clock).
+        """
+        if self._v1_packer is not None:
+            results: List[Optional[Allocation]] = []
+            for i, instance in enumerate(instances):
+                st = stats[i] if stats is not None else {}
+                start = time.perf_counter()
+                results.append(binary_search_max_yield(
+                    instance, self._v1_packer, tolerance=self.tolerance,
+                    improve=self.improve,
+                    hint=None if hints is None else hints[i], stats=st))
+                st["seconds"] = time.perf_counter() - start
+            return results
+        return _solve_many(
+            instances, self.strategies, tolerance=self.tolerance,
+            improve=self.improve, hints=hints, stats=stats,
+            threads=threads)
 
     def __call__(self, instance: ProblemInstance) -> Optional[Allocation]:
         return self.solve_with_hint(instance)

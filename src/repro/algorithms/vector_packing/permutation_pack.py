@@ -25,26 +25,29 @@ Kernel notes (the seed loop survives in :mod:`.legacy`):
   only through its dimension ranking, of which there are at most ``D!``
   (two, in the paper's 2-D setting), so they are computed once per
   ranking per strategy run;
-* on 2-D instances each bin is filled by walking the (at most two)
-  code-sorted candidate lists with per-ranking pointers and scalar fit
-  checks: a candidate that fails a fit check is dead for this bin
-  forever (remaining capacity never grows), so every candidate is visited
-  O(1) times per ranking.  The walk dispatches to the active kernel
-  backend (:mod:`repro.kernels`: numpy scalar loop, numba JIT, or native
-  C — all bit-identical);
-* the general-D path keeps the same selection rule with an ``argmin``
-  over sentinel-masked code arrays and bulk retirement of no-longer-
-  fitting candidates.
+* the whole selection dispatches to the active kernel backend for any
+  dimension count (:mod:`repro.kernels`: numpy, numba JIT, or native C —
+  all bit-identical).  Every backend shares the same internal split: on
+  2-D instances each bin is filled by walking the (at most two)
+  code-sorted candidate lists with per-ranking pointers — a candidate
+  that fails a fit check is dead for this bin forever, so each is
+  visited O(1) times per ranking — while the general-D loop recomputes
+  the bin ranking per selection and bulk-retires no-longer-fitting
+  candidates.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from ...kernels import get_backend
 from .state import PackingState
 
-__all__ = ["permutation_pack", "rank_from_order"]
+__all__ = ["permutation_pack", "rank_from_order", "packed_codes",
+           "PackedCodes"]
 
 _SENTINEL = np.iinfo(np.int64).max
 _MAX_CACHED_RANKINGS = 64
@@ -86,14 +89,45 @@ def _bin_dim_rank_tuple(state: PackingState, h: int,
     return tuple(int(r) for r in _bin_dim_rank(state, h, by_remaining))
 
 
+def packed_codes(item_perm_w: np.ndarray, ranking, D: int, J: int,
+                 tie_rank: np.ndarray, choose_pack: bool) -> np.ndarray:
+    """Packed selection codes for one bin ranking (smaller = earlier).
+
+    ``item_perm_w`` is the hoisted ``(J, w)`` window of each item's
+    dimension permutation; the code is the ``w`` mapped key digits (base
+    ``D``) followed by the item-sort tie-break rank.  Shared by the
+    strategy-run path below and the fused batch probe
+    (:mod:`.batch_solve`), so the two can never drift.
+    """
+    rank_arr = np.asarray(ranking, dtype=np.int64)
+    keys = rank_arr[item_perm_w]                         # (J, w)
+    if choose_pack and keys.shape[1] > 1:
+        keys = np.sort(keys, axis=1)
+    code = keys[:, 0]
+    for c in range(1, keys.shape[1]):
+        code = code * D + keys[:, c]
+    return code * (J + 1) + tie_rank
+
+
+@dataclass(frozen=True)
+class PackedCodes:
+    """One strategy run's selection-code inputs, handed to the backend.
+
+    ``codes_for`` serves the 2-D pointer walk (codes per explicit
+    ranking, memoized); ``tie_rank``/``w``/``choose_pack`` feed the
+    general-D kernel, which builds the codes in-loop from the bin's live
+    ranking.
+    """
+
+    codes_for: Callable[[tuple], np.ndarray]
+    tie_rank: np.ndarray
+    w: int
+    choose_pack: bool
+
+
 def _make_codes(state: PackingState, item_sort_rank: np.ndarray,
                 w: int, choose_pack: bool):
-    """Per-ranking packed-code builder for one strategy run.
-
-    Returns ``codes_for(ranking) -> (J,) int64`` where smaller code means
-    "selected earlier": the ``w`` mapped key digits (base ``D``) followed
-    by the item-sort tie-break rank.
-    """
+    """Per-ranking packed-code builder for one strategy run."""
     D = state.item_agg.shape[1]
     J = state.num_items
     item_perm_w = state.item_dim_perm[:, :w]             # (J, w), hoisted
@@ -103,19 +137,13 @@ def _make_codes(state: PackingState, item_sort_rank: np.ndarray,
     def codes_for(ranking: tuple[int, ...]) -> np.ndarray:
         codes = cache.get(ranking)
         if codes is None:
-            rank_arr = np.asarray(ranking, dtype=np.int64)
-            keys = rank_arr[item_perm_w]                 # (J, w)
-            if choose_pack and w > 1:
-                keys = np.sort(keys, axis=1)
-            code = keys[:, 0]
-            for c in range(1, w):
-                code = code * D + keys[:, c]
-            codes = code * (J + 1) + tie_rank
+            codes = packed_codes(item_perm_w, ranking, D, J, tie_rank,
+                                 choose_pack)
             if len(cache) < _MAX_CACHED_RANKINGS:
                 cache[ranking] = codes
         return codes
 
-    return codes_for
+    return codes_for, tie_rank
 
 
 def permutation_pack(
@@ -153,54 +181,7 @@ def permutation_pack(
             state, item_sort_rank, bin_order, window=window,
             choose_pack=choose_pack,
             rank_bins_by_remaining=rank_bins_by_remaining)
-    codes_for = _make_codes(state, item_sort_rank, w, choose_pack)
-    if D == 2:
-        return get_backend().permutation_pack_2d(
-            state, codes_for, bin_order, rank_bins_by_remaining)
-    return _pp_general(state, codes_for, bin_order, rank_bins_by_remaining)
-
-
-def _pp_general(state: PackingState, codes_for, bin_order,
-                by_remaining: bool) -> bool:
-    """Sentinel-masked argmin selection for D != 2."""
-    item_agg = state.item_agg
-    for h in bin_order:
-        h = int(h)
-        if state.complete:
-            return True
-        cands = state.unplaced_items()
-        cands = cands[state.items_fitting_bin(h, cands)]
-        if cands.size == 0:
-            continue
-        cap = state.bin_cap_tol[h]                       # (D,)
-        cand_agg = item_agg[cands]                       # (K, D)
-        dead = np.zeros(cands.size, dtype=bool)
-        # One live code array per bin ranking seen while filling this bin
-        # (at most D!): deaths are written through to all of them so
-        # switching rankings is a dict lookup, not a rebuild.
-        live_codes: dict[tuple[int, ...], np.ndarray] = {}
-        while True:
-            ranking = _bin_dim_rank_tuple(state, h, by_remaining)
-            cand_codes = live_codes.get(ranking)
-            if cand_codes is None:
-                cand_codes = codes_for(ranking)[cands]   # fresh array
-                cand_codes[dead] = _SENTINEL
-                live_codes[ranking] = cand_codes
-            sel = int(np.argmin(cand_codes))
-            if cand_codes[sel] == _SENTINEL:
-                break                                    # bin exhausted
-            state.place(int(cands[sel]), h)
-            dead[sel] = True
-            for arr in live_codes.values():
-                arr[sel] = _SENTINEL
-            if state.complete:
-                break
-            # Bulk-retire candidates the shrunken bin no longer fits.
-            gone = ~dead & (cand_agg > cap - state.loads[h]).any(axis=1)
-            if gone.any():
-                dead |= gone
-                for arr in live_codes.values():
-                    arr[gone] = _SENTINEL
-        if state.complete:
-            return True
-    return state.complete
+    codes_for, tie_rank = _make_codes(state, item_sort_rank, w, choose_pack)
+    pp = PackedCodes(codes_for, tie_rank, w, choose_pack)
+    return get_backend().permutation_pack(
+        state, pp, bin_order, rank_bins_by_remaining)

@@ -70,16 +70,23 @@ def affine_fit_thresholds(req: np.ndarray, need: np.ndarray,
 class YieldProbeFactory:
     """Per-instance precomputation shared by all probes of a yield search."""
 
-    def __init__(self, instance: ProblemInstance):
+    def __init__(self, instance: ProblemInstance,
+                 thresholds: Optional[tuple] = None):
         sv, nd = instance.services, instance.nodes
         self.instance = instance
         with obs.span("meta.factory") as sp:
-            self.y_elem_max = affine_fit_thresholds(
-                sv.req_elem, sv.need_elem,
-                nd.elementary + capacity_tolerance(nd.elementary))
-            y_agg_max = affine_fit_thresholds(
-                sv.req_agg, sv.need_agg,
-                nd.aggregate + capacity_tolerance(nd.aggregate))
+            if thresholds is not None:
+                # Precomputed (elementary, aggregate) threshold tables —
+                # batched solving builds them for a whole batch in one
+                # kernel call and hands each instance its slice.
+                self.y_elem_max, y_agg_max = thresholds
+            else:
+                self.y_elem_max = affine_fit_thresholds(
+                    sv.req_elem, sv.need_elem,
+                    nd.elementary + capacity_tolerance(nd.elementary))
+                y_agg_max = affine_fit_thresholds(
+                    sv.req_agg, sv.need_agg,
+                    nd.aggregate + capacity_tolerance(nd.aggregate))
             # Largest yield at which every item still has *some* bin that
             # fits it in isolation; above it the probe is trivially
             # infeasible.

@@ -1,0 +1,12 @@
+# repro-fixture: rule=LY304 count=0 path=repro/kernels/batch.py
+# ruff: noqa
+"""Known-good: the batch container on stdlib + numpy alone."""
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchInstances:
+    req: np.ndarray
+    n_items: np.ndarray

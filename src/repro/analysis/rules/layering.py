@@ -13,6 +13,14 @@ them from growing back.
 the stdlib, numpy, numba, and its own package — nothing else.  A kernel
 that reaches into the object model drags python back into the hot loop
 and breaks the "backends are interchangeable array programs" contract.
+
+``LY304`` — the batch container stays standalone.
+``repro/kernels/batch.py`` is the structure-of-arrays container every
+backend (and the solver layer above) shares; it may import the stdlib
+and numpy, *nothing else* — not numba, not sibling kernel modules, no
+relative imports.  Stricter than LY303 because any dependency here
+becomes a dependency of every backend and an import-cycle hazard for
+the solvers that build batches.
 """
 
 from __future__ import annotations
@@ -30,7 +38,8 @@ from ..core import (
     register_rule,
 )
 
-__all__ = ["NoPrintRule", "MetricsDisciplineRule", "KernelImportRule"]
+__all__ = ["NoPrintRule", "MetricsDisciplineRule", "KernelImportRule",
+           "BatchContainerRule"]
 
 #: Modules whose whole job is terminal output.
 _CLI_FILES = frozenset({"repro/cli.py", "repro/analysis/cli.py"})
@@ -220,3 +229,46 @@ class KernelImportRule(Rule):
                                 "may import only stdlib/numpy/numba and "
                                 "repro.kernels itself")
     # (relative level-1 imports stay inside the package by construction)
+
+
+#: The one file LY304 governs.
+_BATCH_CONTAINER = "repro/kernels/batch.py"
+
+
+@register_rule
+class BatchContainerRule(Rule):
+    id = "LY304"
+    name = "batch-container-standalone"
+    summary = ("repro/kernels/batch.py imports only the stdlib and numpy "
+               "— the shared batch container must stay importable by "
+               "every backend with no further dependencies")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        stdlib = sys.stdlib_module_names
+        for module in project.modules:
+            if module.relpath != _BATCH_CONTAINER:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        top = alias.name.split(".")[0]
+                        if top not in stdlib and top != "numpy":
+                            yield self.finding(
+                                module, node,
+                                f"batch container imports {alias.name!r}; "
+                                "only stdlib and numpy are allowed here")
+                elif isinstance(node, ast.ImportFrom):
+                    if node.level >= 1:
+                        yield self.finding(
+                            module, node,
+                            "batch container uses a relative import "
+                            f"(from {'.' * node.level}"
+                            f"{node.module or ''} ...); it must not "
+                            "depend on sibling kernel modules")
+                    elif node.module:
+                        top = node.module.split(".")[0]
+                        if top not in stdlib and top != "numpy":
+                            yield self.finding(
+                                module, node,
+                                f"batch container imports {node.module!r};"
+                                " only stdlib and numpy are allowed here")

@@ -103,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of recomputing them")
     parser.add_argument("--window", type=int, default=None,
                         help="max tasks in flight (default: 4 x workers)")
+    parser.add_argument("--batch", type=int, default=1,
+                        help="tasks per worker dispatch; >1 routes warm "
+                             "META* solves through the batched kernel "
+                             "entry point (same results, less per-solve "
+                             "overhead)")
     parser.add_argument("--progress", action="store_true",
                         help="force live progress on stderr (auto when "
                              "stderr is a terminal)")
@@ -365,6 +370,7 @@ def _run_kwargs(args: argparse.Namespace, label: str) -> dict:
         "checkpoint": args.checkpoint,
         "resume": args.resume,
         "window": args.window,
+        "batch": max(1, args.batch),
         "progress": _Progress(label, enabled=_progress_enabled(args)),
     }
 

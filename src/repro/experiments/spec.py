@@ -124,14 +124,21 @@ class ExperimentSpec:
     def run(self, workers: int | None = None, *,
             checkpoint=None, resume: bool = False,
             window: int | None = None,
-            progress: Optional[ProgressCallback] = None):
-        """Run every task and reduce the stream into the data object."""
+            progress: Optional[ProgressCallback] = None,
+            batch: int = 1):
+        """Run every task and reduce the stream into the data object.
+
+        *batch* groups tasks into kernel batches per worker dispatch
+        where the spec supports it (grid experiments); results are
+        identical to ``batch=1``.
+        """
         raise NotImplementedError
 
     def run_shard(self, shard: Shard, workers: int | None = None, *,
                   checkpoint=None, resume: bool = False,
                   window: int | None = None,
-                  progress: Optional[ProgressCallback] = None) -> int:
+                  progress: Optional[ProgressCallback] = None,
+                  batch: int = 1) -> int:
         """Run only *shard*'s tasks (checkpointing them); returns the
         number of tasks completed, resumed entries included."""
         raise NotImplementedError
@@ -177,27 +184,30 @@ class GridExperiment(ExperimentSpec):
             yield task_key(cfg, self.algorithms)
 
     def _stream(self, configs: Iterable, workers, checkpoint, resume,
-                window, progress) -> Iterator[TaskResult]:
+                window, progress, batch: int = 1) -> Iterator[TaskResult]:
         return iter_grid(configs, self.algorithms, workers, window=window,
                          checkpoint=checkpoint, resume=resume,
-                         progress=progress, warm_chain=self.warm_chain)
+                         progress=progress, warm_chain=self.warm_chain,
+                         batch=batch)
 
     def run(self, workers: int | None = None, *,
             checkpoint=None, resume: bool = False,
             window: int | None = None,
-            progress: Optional[ProgressCallback] = None):
+            progress: Optional[ProgressCallback] = None,
+            batch: int = 1):
         stream = self._stream(self.iter_configs(), workers, checkpoint,
-                              resume, window, progress)
+                              resume, window, progress, batch)
         return self.reduce(self, stream)
 
     def run_shard(self, shard: Shard, workers: int | None = None, *,
                   checkpoint=None, resume: bool = False,
                   window: int | None = None,
-                  progress: Optional[ProgressCallback] = None) -> int:
+                  progress: Optional[ProgressCallback] = None,
+                  batch: int = 1) -> int:
         configs = (cfg for cfg in self.iter_configs()
                    if shard.owns(task_key(cfg, self.algorithms)))
         stream = self._stream(configs, workers, checkpoint, resume,
-                              window, progress)
+                              window, progress, batch)
         return sum(1 for _ in stream)
 
     def collect(self, sources: Sequence[str]):
@@ -294,7 +304,10 @@ class CheckpointExperiment(ExperimentSpec):
     def run(self, workers: int | None = None, *,
             checkpoint=None, resume: bool = False,
             window: int | None = None,
-            progress: Optional[ProgressCallback] = None):
+            progress: Optional[ProgressCallback] = None,
+            batch: int = 1):
+        # *batch* accepted for interface parity; checkpoint-experiment
+        # workers are arbitrary callables, so there is nothing to fuse.
         payloads = list(self._payloads(self.tasks, workers, checkpoint,
                                        resume, window, progress))
         return self.reduce(self, payloads)
@@ -302,7 +315,8 @@ class CheckpointExperiment(ExperimentSpec):
     def run_shard(self, shard: Shard, workers: int | None = None, *,
                   checkpoint=None, resume: bool = False,
                   window: int | None = None,
-                  progress: Optional[ProgressCallback] = None) -> int:
+                  progress: Optional[ProgressCallback] = None,
+                  batch: int = 1) -> int:
         mine = [t for t in self.tasks
                 if shard.owns([self.fingerprint, self.index_of(t)])]
         return sum(1 for _ in self._payloads(mine, workers, checkpoint,

@@ -1,11 +1,12 @@
 """Scalar loop kernels — the jittable source of truth.
 
-These are the hot inner loops of the 2-D vector packers and the probe
+These are the hot inner loops of the vector packers and the probe
 factory, written in the restricted numpy-scalar style that ``numba.njit``
 compiles directly (no Python containers, no closures, no fancy indexing).
 Three consumers share them:
 
-* :mod:`.numba_backend` wraps each function with ``@njit(cache=True)``;
+* :mod:`.numba_backend` wraps each function with ``@njit(cache=True,
+  nogil=True)``;
 * :mod:`.native_backend` is a line-for-line C translation (same IEEE
   float64 operation order, so results are bit-identical);
 * the tests run them *uncompiled* as the ``loops`` reference backend, so
@@ -15,6 +16,17 @@ Every kernel mutates its output arrays in place and performs float
 arithmetic in exactly the same order as the numpy backend
 (:mod:`.numpy_backend`), which is what makes cross-backend placements and
 loads bit-identical rather than merely close.
+
+The packer kernels work for any dimension count D.  Permutation-Pack
+keeps the dedicated 2-D pointer walk (:func:`pp_fill_2d`) alongside the
+general selection loop (:func:`pp_fill_general`): the two produce the
+same *placements* but accumulate bin loads in a different float order
+(per-bin commit vs per-item update), so the split is an internal detail
+every backend shares — backend choice itself never depends on D.
+
+:func:`make_probe_scan` builds the fused META* probe: one kernel call
+that scans a whole strategy table at a fixed yield, eliminating the
+per-strategy Python dispatch that dominates batched solving.
 """
 
 from __future__ import annotations
@@ -22,17 +34,21 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
-    "ff_fill_2d",
+    "ff_fill",
     "bf_pack",
     "pp_fill_2d",
+    "pp_fill_general",
     "affine_fit_thresholds",
+    "batch_fit_thresholds",
     "incremental_best_fit",
+    "make_probe_scan",
+    "probe_scan",
 ]
 
 
-def ff_fill_2d(item_agg, elem_ok, item_order, bin_order,
-               loads, load_sum, cap_tol, assignment):
-    """First-Fit 2-D greedy per-bin fill.  Returns the unplaced count.
+def ff_fill(item_agg, elem_ok, item_order, bin_order,
+            loads, load_sum, cap_tol, assignment):
+    """First-Fit greedy per-bin fill (any D).  Returns the unplaced count.
 
     Mirrors the numpy backend's scalar fast path: bins are filled one at a
     time, each taking every pending item (in item order) that fits the
@@ -40,36 +56,42 @@ def ff_fill_2d(item_agg, elem_ok, item_order, bin_order,
     once.
     """
     J = item_order.shape[0]
+    D = item_agg.shape[1]
     pending = np.empty(J, np.int64)
     for i in range(J):
         pending[i] = item_order[i]
     npend = J
+    load = np.empty(D, np.float64)
     for bi in range(bin_order.shape[0]):
         if npend == 0:
             break
         h = bin_order[bi]
-        l0 = loads[h, 0]
-        l1 = loads[h, 1]
-        c0 = cap_tol[h, 0]
-        c1 = cap_tol[h, 1]
+        for d in range(D):
+            load[d] = loads[h, d]
         ntaken = 0
         nrest = 0
         for i in range(npend):
             j = pending[i]
-            if (elem_ok[j, h]
-                    and l0 + item_agg[j, 0] <= c0
-                    and l1 + item_agg[j, 1] <= c1):
-                l0 += item_agg[j, 0]
-                l1 += item_agg[j, 1]
+            ok = elem_ok[j, h]
+            if ok:
+                for d in range(D):
+                    if load[d] + item_agg[j, d] > cap_tol[h, d]:
+                        ok = False
+                        break
+            if ok:
+                for d in range(D):
+                    load[d] += item_agg[j, d]
                 assignment[j] = h
                 ntaken += 1
             else:
                 pending[nrest] = j
                 nrest += 1
         if ntaken > 0:
-            loads[h, 0] = l0
-            loads[h, 1] = l1
-            load_sum[h] = l0 + l1
+            s = 0.0
+            for d in range(D):
+                loads[h, d] = load[d]
+                s += load[d]
+            load_sum[h] = s
         npend = nrest
     return npend
 
@@ -203,6 +225,119 @@ def pp_fill_2d(item_agg, elem_ok, order0, order1, bin_order,
     return unplaced
 
 
+def pp_fill_general(item_agg, item_agg_sum, elem_ok, item_dim_perm,
+                    tie_rank, w, choose_pack, bin_order, loads, load_sum,
+                    cap_tol, bin_agg, by_remaining, assignment):
+    """Permutation/Choose-Pack selection loop for any D.  Returns the
+    unplaced count.
+
+    Per bin: candidates are the unplaced items that fit the bin's current
+    remaining capacity.  Each selection recomputes the bin's dimension
+    ranking from its live loads (stable ascending sort of the load — or of
+    the negated remaining capacity when ``by_remaining``), packs the first
+    ``w`` digits of each candidate's dimension permutation mapped through
+    that ranking (sorted ascending for Choose-Pack) plus the item-sort
+    tie-break rank into one int64 code, and places the minimal-code
+    candidate (codes are a total order, so the minimum is unique).
+    Candidates the shrunken bin no longer fits are retired in bulk, so a
+    candidate is fit-checked O(1) times per bin.
+    """
+    J = item_agg.shape[0]
+    D = item_agg.shape[1]
+    unplaced = 0
+    for j in range(J):
+        if assignment[j] < 0:
+            unplaced += 1
+    cand = np.empty(J, np.int64)
+    dead = np.empty(J, np.uint8)
+    key = np.empty(D, np.float64)
+    perm = np.empty(D, np.int64)
+    rank = np.empty(D, np.int64)
+    keys = np.empty(w, np.int64)
+    for bi in range(bin_order.shape[0]):
+        if unplaced == 0:
+            break
+        h = bin_order[bi]
+        K = 0
+        for j in range(J):
+            if assignment[j] >= 0 or not elem_ok[j, h]:
+                continue
+            fit = True
+            for d in range(D):
+                if item_agg[j, d] > cap_tol[h, d] - loads[h, d]:
+                    fit = False
+                    break
+            if fit:
+                cand[K] = j
+                dead[K] = 0
+                K += 1
+        nlive = K
+        while nlive > 0:
+            if by_remaining:
+                for d in range(D):
+                    key[d] = -(bin_agg[h, d] - loads[h, d])
+            else:
+                for d in range(D):
+                    key[d] = loads[h, d]
+            for d in range(D):
+                perm[d] = d
+            for a in range(1, D):  # stable insertion sort on key
+                pj = perm[a]
+                kv = key[pj]
+                b = a - 1
+                while b >= 0 and key[perm[b]] > kv:
+                    perm[b + 1] = perm[b]
+                    b -= 1
+                perm[b + 1] = pj
+            for d in range(D):
+                rank[perm[d]] = d
+            sel = -1
+            best_code = 0
+            for q in range(K):
+                if dead[q] == 1:
+                    continue
+                j = cand[q]
+                for c in range(w):
+                    keys[c] = rank[item_dim_perm[j, c]]
+                if choose_pack and w > 1:
+                    for a in range(1, w):  # sort the window ascending
+                        kv = keys[a]
+                        b = a - 1
+                        while b >= 0 and keys[b] > kv:
+                            keys[b + 1] = keys[b]
+                            b -= 1
+                        keys[b + 1] = kv
+                code = keys[0]
+                for c in range(1, w):
+                    code = code * D + keys[c]
+                code = code * (J + 1) + tie_rank[j]
+                if sel < 0 or code < best_code:
+                    best_code = code
+                    sel = q
+            if sel < 0:
+                break
+            j = cand[sel]
+            for d in range(D):
+                loads[h, d] += item_agg[j, d]
+            load_sum[h] += item_agg_sum[j]
+            assignment[j] = h
+            dead[sel] = 1
+            nlive -= 1
+            unplaced -= 1
+            if unplaced == 0:
+                break
+            for q in range(K):  # bulk-retire no-longer-fitting candidates
+                if dead[q] == 1:
+                    continue
+                jj = cand[q]
+                for d in range(D):
+                    if item_agg[jj, d] > cap_tol[h, d] - loads[h, d]:
+                        dead[q] = 1
+                        nlive -= 1
+                        break
+    return unplaced
+
+
 def affine_fit_thresholds(req, need, cap, out):
     """``out[j, h]`` = largest yield at which item *j* fits bin *h*.
 
@@ -227,6 +362,37 @@ def affine_fit_thresholds(req, need, cap, out):
                 if t < m:
                     m = t
             out[j, h] = m
+    return 0
+
+
+def batch_fit_thresholds(req, need, cap, n_items, n_bins, out):
+    """Batched :func:`affine_fit_thresholds` over padded ``(B, ...)`` arrays.
+
+    ``req``/``need`` are ``(B, N, D)``, ``cap`` is ``(B, H, D)``; instance
+    *b* uses only its first ``n_items[b]`` item rows and ``n_bins[b]`` bin
+    rows.  Thresholds land in ``out[b, :n_items[b], :n_bins[b]]``; the
+    padding is left untouched.
+    """
+    B = req.shape[0]
+    D = req.shape[2]
+    for b in range(B):
+        J = n_items[b]
+        H = n_bins[b]
+        for j in range(J):
+            for h in range(H):
+                m = np.inf
+                for d in range(D):
+                    slack = cap[b, h, d] - req[b, j, d]
+                    nd = need[b, j, d]
+                    if nd > 0:
+                        t = slack / nd
+                    elif slack >= 0:
+                        t = np.inf
+                    else:
+                        t = -np.inf
+                    if t < m:
+                        m = t
+                out[b, j, h] = m
     return 0
 
 
@@ -266,3 +432,80 @@ def incremental_best_fit(req_agg, elem_fit, loads, agg, cap_tol, out):
             for d in range(D):
                 loads[best_h, d] += req_agg[i, d]
     return placed
+
+
+def make_probe_scan(ff_fill, bf_pack, pp_fill_2d, pp_fill_general):
+    """Build the fused META* probe scan over concrete packer kernels.
+
+    The numba backend calls this with its jitted kernels and jits the
+    closure (closures cannot use the on-disk cache, so that compile is
+    per-process); the ``loops`` reference backend uses the module-level
+    :data:`probe_scan` built from the uncompiled functions.
+
+    The returned function runs one feasibility probe: for each strategy in
+    ``scan`` order it resets the scratch state and executes the strategy's
+    packer with the precomputed orders from the strategy table, stopping at
+    the first full packing.  Returns the *position in* ``scan`` of the
+    winning strategy (its placement is left in ``assignment``), or -1 when
+    no strategy packs.
+
+    Strategy table columns (all int64, one row per strategy):
+
+    * ``st_packer`` — 0 = FF, 1 = BF, 2 = PP/CP;
+    * ``st_item``   — row into ``item_orders`` / ``tie_ranks``;
+    * ``st_bin``    — row into ``bin_orders`` (-1 for BF);
+    * ``st_hetero`` — heterogeneous flag (BF score / PP dimension ranking);
+    * ``st_w``      — effective PP/CP window (<= D);
+    * ``st_choose`` — 1 for Choose-Pack;
+    * ``st_cfg``    — row into ``pp_order0``/``pp_order1`` for the 2-D
+      PP/CP walk (-1 when unused, i.e. FF/BF or D != 2).
+    """
+
+    def probe_scan(item_agg, item_agg_sum, elem_ok, cap_tol, bin_agg,
+                   bin_agg_sum, item_orders, tie_ranks, bin_orders,
+                   item_dim_perm, pp_order0, pp_order1,
+                   st_packer, st_item, st_bin, st_hetero, st_w,
+                   st_choose, st_cfg, scan, loads, load_sum, assignment):
+        J = item_agg.shape[0]
+        H = cap_tol.shape[0]
+        D = item_agg.shape[1]
+        for si in range(scan.shape[0]):
+            s = scan[si]
+            for h in range(H):
+                load_sum[h] = 0.0
+                for d in range(D):
+                    loads[h, d] = 0.0
+            for j in range(J):
+                assignment[j] = -1
+            packer = st_packer[s]
+            item_order = item_orders[st_item[s]]
+            hetero = st_hetero[s] != 0
+            if packer == 0:
+                ok = ff_fill(item_agg, elem_ok, item_order,
+                             bin_orders[st_bin[s]], loads, load_sum,
+                             cap_tol, assignment) == 0
+            elif packer == 1:
+                ok = bf_pack(item_agg, item_agg_sum, elem_ok, item_order,
+                             loads, load_sum, cap_tol, bin_agg_sum,
+                             hetero, assignment) == 1
+            elif D == 2:
+                ok = pp_fill_2d(item_agg, elem_ok, pp_order0[st_cfg[s]],
+                                pp_order1[st_cfg[s]], bin_orders[st_bin[s]],
+                                loads, load_sum, cap_tol, bin_agg,
+                                hetero, assignment) == 0
+            else:
+                ok = pp_fill_general(item_agg, item_agg_sum, elem_ok,
+                                     item_dim_perm, tie_ranks[st_item[s]],
+                                     st_w[s], st_choose[s] != 0,
+                                     bin_orders[st_bin[s]], loads,
+                                     load_sum, cap_tol, bin_agg, hetero,
+                                     assignment) == 0
+            if ok:
+                return si
+        return -1
+
+    return probe_scan
+
+
+#: Uncompiled fused probe (the ``loops`` reference backend's version).
+probe_scan = make_probe_scan(ff_fill, bf_pack, pp_fill_2d, pp_fill_general)

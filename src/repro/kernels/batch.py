@@ -1,0 +1,118 @@
+"""Batched structure-of-arrays instance container.
+
+:class:`BatchInstances` packs *B* ragged problem instances into padded
+``(B, N, D)`` requirement and ``(B, H, D)`` capacity arrays plus
+per-instance row counts, the shape the batched kernels
+(``batch_fit_thresholds`` and the fused probe scan driven per instance
+from a thread pool) consume in one call.
+
+This module is deliberately leaf-safe — stdlib + numpy only, nothing
+from :mod:`repro.algorithms` or above — so every kernel backend may
+import it (enforced by static-analysis rule LY304).  It therefore holds
+*raw arrays only*: no tolerance arithmetic, no yield model; that policy
+lives with the solvers in
+:mod:`repro.algorithms.vector_packing.batch_solve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BatchInstances"]
+
+
+def _pad_stack(arrays: Sequence[np.ndarray], rows: int) -> np.ndarray:
+    """Zero-pad each ``(n_b, D)`` array to ``rows`` and stack to a batch."""
+    dims = arrays[0].shape[1]
+    out = np.zeros((len(arrays), rows, dims), dtype=np.float64)
+    for b, arr in enumerate(arrays):
+        out[b, :arr.shape[0]] = arr
+    return out
+
+
+@dataclass(frozen=True)
+class BatchInstances:
+    """*B* instances, zero-padded to common item/bin counts.
+
+    ``n_items[b]`` / ``n_bins[b]`` give instance *b*'s real row counts;
+    rows past them are zero and must be ignored (the batched kernels
+    never read them).
+    """
+
+    req_elem: np.ndarray    # (B, N, D) rigid elementary requirements
+    req_agg: np.ndarray     # (B, N, D) rigid aggregate requirements
+    need_elem: np.ndarray   # (B, N, D) fluid elementary needs
+    need_agg: np.ndarray    # (B, N, D) fluid aggregate needs
+    cap_elem: np.ndarray    # (B, H, D) elementary capacities
+    cap_agg: np.ndarray     # (B, H, D) aggregate capacities
+    n_items: np.ndarray     # (B,) int64
+    n_bins: np.ndarray      # (B,) int64
+
+    @classmethod
+    def from_ragged(
+        cls,
+        item_arrays: Sequence[Tuple[np.ndarray, np.ndarray,
+                                    np.ndarray, np.ndarray]],
+        bin_arrays: Sequence[Tuple[np.ndarray, np.ndarray]],
+    ) -> "BatchInstances":
+        """Pack per-instance arrays.
+
+        *item_arrays* holds one ``(req_elem, req_agg, need_elem,
+        need_agg)`` tuple per instance (each ``(n_b, D)``); *bin_arrays*
+        one ``(cap_elem, cap_agg)`` tuple (each ``(h_b, D)``).  All
+        instances must share the dimension count D.
+        """
+        if len(item_arrays) != len(bin_arrays):
+            raise ValueError("item_arrays and bin_arrays length mismatch")
+        if not item_arrays:
+            raise ValueError("empty batch")
+        dims = {a.shape[1] for tup in item_arrays for a in tup}
+        dims |= {a.shape[1] for tup in bin_arrays for a in tup}
+        if len(dims) != 1:
+            raise ValueError(
+                f"all instances must share one dimension count, got {dims}")
+        n_items = np.array([tup[0].shape[0] for tup in item_arrays],
+                           dtype=np.int64)
+        n_bins = np.array([tup[0].shape[0] for tup in bin_arrays],
+                          dtype=np.int64)
+        N = int(n_items.max())
+        H = int(n_bins.max())
+        return cls(
+            req_elem=_pad_stack([t[0] for t in item_arrays], N),
+            req_agg=_pad_stack([t[1] for t in item_arrays], N),
+            need_elem=_pad_stack([t[2] for t in item_arrays], N),
+            need_agg=_pad_stack([t[3] for t in item_arrays], N),
+            cap_elem=_pad_stack([t[0] for t in bin_arrays], H),
+            cap_agg=_pad_stack([t[1] for t in bin_arrays], H),
+            n_items=n_items,
+            n_bins=n_bins,
+        )
+
+    @property
+    def batch_size(self) -> int:
+        return self.req_agg.shape[0]
+
+    @property
+    def max_items(self) -> int:
+        return self.req_agg.shape[1]
+
+    @property
+    def max_bins(self) -> int:
+        return self.cap_agg.shape[1]
+
+    @property
+    def dims(self) -> int:
+        return self.req_agg.shape[2]
+
+    def item_mask(self) -> np.ndarray:
+        """``(B, N)`` bool: True on real (non-padding) item rows."""
+        return (np.arange(self.max_items)[None, :]
+                < self.n_items[:, None])
+
+    def bin_mask(self) -> np.ndarray:
+        """``(B, H)`` bool: True on real (non-padding) bin rows."""
+        return (np.arange(self.max_bins)[None, :]
+                < self.n_bins[:, None])

@@ -1,11 +1,12 @@
 """The numpy/pure-Python kernel backend (the PR-3 hot paths, moved).
 
-This is the always-available reference implementation: the 2-D scalar
-fast paths run on Python floats over pre-extracted nested lists (per-item
+This is the always-available reference implementation: the packer scalar
+paths run on Python floats over pre-extracted nested lists (per-item
 numpy calls cost more than the arithmetic at the paper's J≈100), the
 threshold table is a single ``(J, H, D)`` broadcast, and the dynamic
-newcomer fill is a per-item vectorized best-fit.  The compiled backends
-must reproduce these results bit-for-bit.
+newcomer fill is a per-item vectorized best-fit.  Every path handles any
+dimension count — backend choice never depends on D — and the compiled
+backends must reproduce these results bit-for-bit.
 """
 
 from __future__ import annotations
@@ -16,36 +17,61 @@ from .api import KernelBackend
 
 __all__ = ["NumpyKernelBackend"]
 
+_SENTINEL = np.iinfo(np.int64).max
+
+
+def _bin_dim_rank_tuple(state, h: int, by_remaining: bool) -> tuple:
+    """Rank of each dimension of bin *h* (0 = fill first), as a tuple.
+
+    Same rule as the packer layer's ``_bin_dim_rank``: ascending current
+    load (homogeneous) or descending remaining capacity (heterogeneous).
+    Duplicated here rather than imported — kernels are a leaf package
+    (LY303) and may not reach back into :mod:`repro.algorithms`.
+    """
+    if by_remaining:
+        key = -(state.bin_agg[h] - state.loads[h])
+    else:
+        key = state.loads[h]
+    perm = np.argsort(key, kind="stable")
+    rank = np.empty_like(perm)
+    rank[perm] = np.arange(perm.shape[0])
+    return tuple(int(r) for r in rank)
+
 
 class NumpyKernelBackend(KernelBackend):
     name = "numpy"
 
     # -- First-Fit -----------------------------------------------------
-    def first_fit_2d(self, state, item_order, bin_order) -> bool:
-        """Scalar fast path: greedy per-bin fill on Python floats."""
+    def first_fit(self, state, item_order, bin_order) -> bool:
+        """Scalar path: greedy per-bin fill on Python floats (any D)."""
         agg = state.item_agg_rows
         elem_ok = state.elem_ok_rows
+        D = state.item_agg.shape[1]
         pending = [int(j) for j in item_order]
         for h in bin_order:
             if not pending:
                 break
             h = int(h)
-            l0 = float(state.loads[h, 0])
-            l1 = float(state.loads[h, 1])
-            c0 = float(state.bin_cap_tol[h, 0])
-            c1 = float(state.bin_cap_tol[h, 1])
+            load = [float(x) for x in state.loads[h]]
+            cap = [float(x) for x in state.bin_cap_tol[h]]
             taken = []
             rest = []
             for j in pending:
                 a = agg[j]
-                if elem_ok[j][h] and l0 + a[0] <= c0 and l1 + a[1] <= c1:
-                    l0 += a[0]
-                    l1 += a[1]
+                ok = elem_ok[j][h]
+                if ok:
+                    for d in range(D):
+                        if load[d] + a[d] > cap[d]:
+                            ok = False
+                            break
+                if ok:
+                    for d in range(D):
+                        load[d] += a[d]
                     taken.append(j)
                 else:
                     rest.append(j)
             if taken:
-                state.commit_bin(taken, h, (l0, l1))
+                state.commit_bin(taken, h, tuple(load))
                 pending = rest
         return not pending
 
@@ -69,8 +95,16 @@ class NumpyKernelBackend(KernelBackend):
         return True
 
     # -- Permutation-Pack ----------------------------------------------
-    def permutation_pack_2d(self, state, codes_for, bin_order,
-                            by_remaining: bool) -> bool:
+    def permutation_pack(self, state, pp, bin_order,
+                         by_remaining: bool) -> bool:
+        if state.item_agg.shape[1] == 2:
+            return self._pp_walk_2d(state, pp.codes_for, bin_order,
+                                    by_remaining)
+        return self._pp_general(state, pp.codes_for, bin_order,
+                                by_remaining)
+
+    def _pp_walk_2d(self, state, codes_for, bin_order,
+                    by_remaining: bool) -> bool:
         """Pointer-walk fast path for 2-D instances."""
         agg = state.item_agg_rows
         elem_ok = state.elem_ok_rows
@@ -138,6 +172,51 @@ class NumpyKernelBackend(KernelBackend):
                     return True
                 taken_set = set(taken)
                 pending = [j for j in pending if j not in taken_set]
+        return state.complete
+
+    def _pp_general(self, state, codes_for, bin_order,
+                    by_remaining: bool) -> bool:
+        """Sentinel-masked argmin selection for D != 2."""
+        item_agg = state.item_agg
+        for h in bin_order:
+            h = int(h)
+            if state.complete:
+                return True
+            cands = state.unplaced_items()
+            cands = cands[state.items_fitting_bin(h, cands)]
+            if cands.size == 0:
+                continue
+            cap = state.bin_cap_tol[h]                   # (D,)
+            cand_agg = item_agg[cands]                   # (K, D)
+            dead = np.zeros(cands.size, dtype=bool)
+            # One live code array per bin ranking seen while filling this
+            # bin (at most D!): deaths are written through to all of them
+            # so switching rankings is a dict lookup, not a rebuild.
+            live_codes: dict = {}
+            while True:
+                ranking = _bin_dim_rank_tuple(state, h, by_remaining)
+                cand_codes = live_codes.get(ranking)
+                if cand_codes is None:
+                    cand_codes = codes_for(ranking)[cands]  # fresh array
+                    cand_codes[dead] = _SENTINEL
+                    live_codes[ranking] = cand_codes
+                sel = int(np.argmin(cand_codes))
+                if cand_codes[sel] == _SENTINEL:
+                    break                                # bin exhausted
+                state.place(int(cands[sel]), h)
+                dead[sel] = True
+                for arr in live_codes.values():
+                    arr[sel] = _SENTINEL
+                if state.complete:
+                    break
+                # Bulk-retire candidates the shrunken bin no longer fits.
+                gone = ~dead & (cand_agg > cap - state.loads[h]).any(axis=1)
+                if gone.any():
+                    dead |= gone
+                    for arr in live_codes.values():
+                        arr[gone] = _SENTINEL
+            if state.complete:
+                return True
         return state.complete
 
     # -- probe factory -------------------------------------------------

@@ -80,7 +80,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from .. import obs
+from .. import kernels, obs
 from ..algorithms.vector_packing.meta import (
     DEFAULT_ENGINE,
     META_STRATEGY_FAMILIES,
@@ -212,6 +212,12 @@ class AllocationController:
             "commit, by SLA class.", ("class",))
         for name in SLA_NAMES:
             self._m_sla.labels(**{"class": name})
+        self._m_kernel_batch = reg.counter(
+            "repro_kernel_batch_total",
+            "Kernel batch dispatches (solve_many calls) by backend.",
+            ("backend",))
+        self._m_kernel_batch.labels(
+            backend=kernels.current_backend_name())  # scrape shows it at 0
         self._m_journal_errors = reg.counter(
             "repro_journal_errors_total",
             "Events refused because the journal write failed.")
@@ -445,8 +451,16 @@ class AllocationController:
             attempt_stats: dict = {}
             if self._faults is not None:
                 self._faults.on_solve()
-            result = solver.solve_with_hint(instance, hint=hint,
-                                            stats=attempt_stats)
+            if hasattr(solver, "solve_many"):
+                # Batched kernel entry point (B=1): one fused kernel
+                # call per probe instead of a Python strategy scan.
+                result = solver.solve_many(
+                    [instance], hints=[hint], stats=[attempt_stats])[0]
+                self._m_kernel_batch.labels(
+                    backend=kernels.current_backend_name()).inc()
+            else:
+                result = solver.solve_with_hint(instance, hint=hint,
+                                                stats=attempt_stats)
             return result, attempt_stats
 
         def note_retry(attempt: int, exc: Exception) -> None:

@@ -203,6 +203,15 @@ def parallel_imap(fn: Callable[[T], R], tasks: Iterable[T],
     return _imap_pairs(fn, enumerate(iter(tasks)), workers, window)
 
 
+def _flatten_blocks(blocks: Iterator[Sequence[R]]) -> Iterator[R]:
+    """Flatten a stream of result blocks, closing it with the consumer."""
+    try:
+        for block in blocks:
+            yield from block
+    finally:
+        blocks.close()
+
+
 def parallel_imap_cached(fn: Callable[[T], R], tasks: Iterable[T],
                          cache: Mapping[Hashable, R],
                          key: Callable[[T], Hashable],
@@ -211,6 +220,9 @@ def parallel_imap_cached(fn: Callable[[T], R], tasks: Iterable[T],
                          on_computed: Callable[[Hashable, R], None]
                          | None = None,
                          progress: Callable[[R, bool], None]
+                         | None = None,
+                         chunk: int = 1,
+                         chunk_fn: Callable[[Sequence[T]], Sequence[R]]
                          | None = None) -> Iterator[R]:
     """Like :func:`parallel_imap`, but tasks whose ``key(task)`` is present
     in *cache* are answered from the cache instead of being executed.
@@ -224,6 +236,13 @@ def parallel_imap_cached(fn: Callable[[T], R], tasks: Iterable[T],
     position in the *original* sequence, cache hits included.  Cached
     values may legitimately be ``None``; membership, not truthiness,
     decides a hit.
+
+    With ``chunk > 1`` and a *chunk_fn*, cache misses are grouped into
+    blocks of up to *chunk* consecutive tasks and each block is handed to
+    ``chunk_fn(list_of_tasks)``, which must return one result per task in
+    order — the hook batched kernel dispatch plugs into.  Checkpointing,
+    ordering, and the cached merge are unaffected: results are flattened
+    back into the per-task stream before the bookkeeping above runs.
     """
     # In input order: (True, cached_value) for hits, (False, key) for
     # misses.  The pool pulls ahead of the consumer (window filling), so
@@ -245,7 +264,20 @@ def parallel_imap_cached(fn: Callable[[T], R], tasks: Iterable[T],
         return value
 
     workers = workers if workers is not None else default_workers()
-    computed = _imap_pairs(fn, pending(), workers, window)
+    if chunk > 1 and chunk_fn is not None:
+        def chunked() -> Iterator[tuple[int, list[T]]]:
+            pairs = pending()
+            while True:
+                block = list(itertools.islice(pairs, chunk))
+                if not block:
+                    return
+                # The block reports errors at its first task's position.
+                yield block[0][0], [task for _, task in block]
+
+        computed = _flatten_blocks(
+            _imap_pairs(chunk_fn, chunked(), workers, window))
+    else:
+        computed = _imap_pairs(fn, pending(), workers, window)
     try:
         while True:
             while flags and flags[0][0]:

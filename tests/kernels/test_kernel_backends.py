@@ -156,6 +156,25 @@ class TestBitEquivalence:
         assert np.array_equal(ref_out, out)
         assert np.array_equal(ref_loads, loads)
 
+    @pytest.mark.parametrize("dims", (1, 3, 5))
+    def test_any_d_strategies_match_numpy(self, backend, dims):
+        """General-D kernels: every packer bit-equals the numpy path."""
+        from tests.kernels.test_batch_solve import synthetic_instance
+        inst = synthetic_instance(dims, J=15, H=5, seed=dims)
+        for y in YIELDS:
+            with kernels.kernel_backend("numpy"):
+                ref_outs, ref_loads, ref_ls = _run_all_strategies(inst, y)
+            with kernels.kernel_backend(backend):
+                outs, loads, ls = _run_all_strategies(inst, y)
+            for strategy, a, b in zip(STRATEGIES, ref_outs, outs):
+                if a is None:
+                    assert b is None, (strategy.name, dims, y)
+                else:
+                    assert b is not None, (strategy.name, dims, y)
+                    assert (a == b).all(), (strategy.name, dims, y)
+            assert np.array_equal(ref_loads, loads), (dims, y)
+            assert np.array_equal(ref_ls, ls), (dims, y)
+
     def test_meta_solve_certifies_identical_yields(self, backend):
         strategies = hvp_light_strategies()
         for cfg in INSTANCES[:2]:
